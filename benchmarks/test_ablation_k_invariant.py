@@ -1,0 +1,39 @@
+"""Ablation: the K-invariant method (Section 3.3).
+
+Sweeps the number of conditions selected per building block (K = 1 is the
+basic method; K = 0 selects every deciding condition, the Theorem 2
+variant) and reports throughput, the number of monitored invariants, the
+number of reoptimizations, and the adaptation overhead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, k_invariant_ablation
+
+
+@pytest.mark.parametrize("dataset,algorithm", [("traffic", "greedy"), ("traffic", "zstream")])
+def test_ablation_k_invariant(
+    benchmark, bench_scale, make_config, report_table, dataset, algorithm
+):
+    config = make_config(dataset, algorithm, sizes=(max(bench_scale["sizes"][:3]),))
+    rows = benchmark.pedantic(
+        k_invariant_ablation,
+        args=(config,),
+        kwargs={"k_values": (1, 2, 4, 0), "distance": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        format_table(
+            rows,
+            ["k", "num_invariants", "throughput", "reoptimizations", "overhead"],
+            title=f"K-invariant ablation — {dataset}/{algorithm} (K=0 means all conditions)",
+        )
+    )
+    assert len(rows) == 4
+    by_k = {row["k"]: row for row in rows}
+    # Monitoring more conditions per block can only grow the invariant list.
+    assert by_k[0.0]["num_invariants"] >= by_k[1.0]["num_invariants"]
+    assert by_k[4.0]["num_invariants"] >= by_k[2.0]["num_invariants"] >= by_k[1.0]["num_invariants"]

@@ -1,0 +1,39 @@
+"""Ablation: invariant-selection strategy (Section 3.5).
+
+Compares the paper's tightest-condition heuristic against a
+violation-probability-based selection and a random-selection baseline on
+one pattern per dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table, selection_strategy_ablation
+
+
+@pytest.mark.parametrize("dataset", ["traffic", "stocks"])
+def test_ablation_selection_strategy(
+    benchmark, bench_scale, make_config, report_table, dataset
+):
+    config = make_config(dataset, "greedy", sizes=(max(bench_scale["sizes"][:3]),))
+    rows = benchmark.pedantic(
+        selection_strategy_ablation,
+        args=(config,),
+        kwargs={"distance": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    report_table(
+        format_table(
+            rows,
+            ["strategy", "throughput", "reoptimizations", "overhead"],
+            title=f"Invariant selection strategy ablation — {dataset}/greedy",
+        )
+    )
+    assert {row["strategy"] for row in rows} == {
+        "tightest",
+        "violation-probability",
+        "random",
+    }
+    assert all(row["throughput"] > 0 for row in rows)

@@ -1,0 +1,39 @@
+"""Figures 10–13 (Appendix A): sequence patterns, all four dataset–algorithm pairs.
+
+One panel per dataset–algorithm combination, restricted to the plain
+sequence pattern family.  The trends mirror the main Figures 6–9.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PANELS = [
+    ("Figure 10", "traffic", "greedy"),
+    ("Figure 11", "traffic", "zstream"),
+    ("Figure 12", "stocks", "greedy"),
+    ("Figure 13", "stocks", "zstream"),
+]
+
+
+@pytest.mark.parametrize("figure,dataset,algorithm", PANELS)
+def test_appendix_sequence_patterns(
+    benchmark,
+    bench_scale,
+    make_config,
+    method_comparison_panel,
+    comparison_sanity,
+    figure,
+    dataset,
+    algorithm,
+):
+    config = make_config(
+        dataset,
+        algorithm,
+        sizes=bench_scale["sizes"][:2],
+        pattern_families=("sequence",),
+    )
+    result = benchmark.pedantic(
+        method_comparison_panel, args=(config, figure), rounds=1, iterations=1
+    )
+    comparison_sanity(result, config.sizes)

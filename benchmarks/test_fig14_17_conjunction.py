@@ -1,0 +1,43 @@
+"""Figures 14–17 (Appendix A): conjunction patterns, all four dataset–algorithm pairs.
+
+Conjunction patterns drop the temporal ordering constraint, so they produce
+substantially more intermediate partial matches than sequences of the same
+size; the paper observes a correspondingly larger relative gain for the
+adaptive methods.  The benchmark uses the smallest pattern sizes to keep
+the (inherently heavier) conjunction runs fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PANELS = [
+    ("Figure 14", "traffic", "greedy"),
+    ("Figure 15", "traffic", "zstream"),
+    ("Figure 16", "stocks", "greedy"),
+    ("Figure 17", "stocks", "zstream"),
+]
+
+
+@pytest.mark.parametrize("figure,dataset,algorithm", PANELS)
+def test_appendix_conjunction_patterns(
+    benchmark,
+    bench_scale,
+    make_config,
+    method_comparison_panel,
+    comparison_sanity,
+    figure,
+    dataset,
+    algorithm,
+):
+    config = make_config(
+        dataset,
+        algorithm,
+        sizes=(3, 4),
+        pattern_families=("conjunction",),
+        max_events=min(8000, bench_scale["max_events"]),
+    )
+    result = benchmark.pedantic(
+        method_comparison_panel, args=(config, figure), rounds=1, iterations=1
+    )
+    comparison_sanity(result, config.sizes)

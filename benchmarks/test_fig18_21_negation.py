@@ -1,0 +1,39 @@
+"""Figures 18–21 (Appendix A): negation patterns, all four dataset–algorithm pairs.
+
+Sequence patterns augmented with one negated event.  The paper found that
+negation barely changes the relative behaviour of the adaptation methods.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PANELS = [
+    ("Figure 18", "traffic", "greedy"),
+    ("Figure 19", "traffic", "zstream"),
+    ("Figure 20", "stocks", "greedy"),
+    ("Figure 21", "stocks", "zstream"),
+]
+
+
+@pytest.mark.parametrize("figure,dataset,algorithm", PANELS)
+def test_appendix_negation_patterns(
+    benchmark,
+    bench_scale,
+    make_config,
+    method_comparison_panel,
+    comparison_sanity,
+    figure,
+    dataset,
+    algorithm,
+):
+    config = make_config(
+        dataset,
+        algorithm,
+        sizes=bench_scale["sizes"][:2],
+        pattern_families=("negation",),
+    )
+    result = benchmark.pedantic(
+        method_comparison_panel, args=(config, figure), rounds=1, iterations=1
+    )
+    comparison_sanity(result, config.sizes)

@@ -1,0 +1,42 @@
+"""Figures 22–25 (Appendix A): Kleene-closure patterns, all four dataset–algorithm pairs.
+
+Sequence patterns with one event under Kleene closure.  Because the Kleene
+operator is expensive regardless of its position in the plan, the paper
+found the overall impact of the adaptation methods to be smaller here —
+but the invariant method remained the best adaptive method.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PANELS = [
+    ("Figure 22", "traffic", "greedy"),
+    ("Figure 23", "traffic", "zstream"),
+    ("Figure 24", "stocks", "greedy"),
+    ("Figure 25", "stocks", "zstream"),
+]
+
+
+@pytest.mark.parametrize("figure,dataset,algorithm", PANELS)
+def test_appendix_kleene_patterns(
+    benchmark,
+    bench_scale,
+    make_config,
+    method_comparison_panel,
+    comparison_sanity,
+    figure,
+    dataset,
+    algorithm,
+):
+    config = make_config(
+        dataset,
+        algorithm,
+        sizes=bench_scale["sizes"][:2],
+        pattern_families=("kleene",),
+        max_events=min(8000, bench_scale["max_events"]),
+    )
+    result = benchmark.pedantic(
+        method_comparison_panel, args=(config, figure), rounds=1, iterations=1
+    )
+    comparison_sanity(result, config.sizes)

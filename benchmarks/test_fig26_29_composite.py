@@ -1,0 +1,41 @@
+"""Figures 26–29 (Appendix A): composite patterns, all four dataset–algorithm pairs.
+
+Each composite pattern is a disjunction of three independent sequences,
+evaluated by one adaptive sub-engine per sequence; the paper found the
+results to closely track the plain sequence-pattern figures.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+PANELS = [
+    ("Figure 26", "traffic", "greedy"),
+    ("Figure 27", "traffic", "zstream"),
+    ("Figure 28", "stocks", "greedy"),
+    ("Figure 29", "stocks", "zstream"),
+]
+
+
+@pytest.mark.parametrize("figure,dataset,algorithm", PANELS)
+def test_appendix_composite_patterns(
+    benchmark,
+    bench_scale,
+    make_config,
+    method_comparison_panel,
+    comparison_sanity,
+    figure,
+    dataset,
+    algorithm,
+):
+    config = make_config(
+        dataset,
+        algorithm,
+        sizes=bench_scale["sizes"][:2],
+        pattern_families=("composite",),
+        max_events=min(8000, bench_scale["max_events"]),
+    )
+    result = benchmark.pedantic(
+        method_comparison_panel, args=(config, figure), rounds=1, iterations=1
+    )
+    comparison_sanity(result, config.sizes)

@@ -1,0 +1,92 @@
+"""Traffic monitoring: adaptivity under extreme, rare regime shifts.
+
+This example mirrors the paper's traffic-dataset scenario: a city's road
+sensors report skewed, mostly stable event rates, but occasionally the
+traffic situation changes drastically (rush hour starts, a road closes).
+A non-adaptive engine keeps using the plan built for the initial
+conditions; the adaptive engines notice the shift and reorder their plans.
+
+The script runs the same anomaly-detection pattern ("speed and vehicle
+count move in the same direction across four sensors") with four different
+reoptimization policies and prints a side-by-side comparison of throughput,
+plan replacements and adaptation overhead — a miniature of the paper's
+Figure 6.
+
+Run with::
+
+    python examples/traffic_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveCEPEngine,
+    ConstantThresholdPolicy,
+    GreedyOrderPlanner,
+    InvariantBasedPolicy,
+    StaticPolicy,
+    TrafficDatasetSimulator,
+    UnconditionalPolicy,
+)
+from repro.events import InMemoryEventStream
+from repro.experiments import format_table
+from repro.workloads import WorkloadGenerator
+
+
+def main() -> None:
+    # A synthetic stand-in for the Aarhus traffic-sensor data: 14 observation
+    # points with Zipf-skewed rates and four large regime shifts.
+    dataset = TrafficDatasetSimulator(
+        num_types=14, base_rate=6.0, num_shifts=4, shift_factor=8.0, duration_hint=300.0
+    )
+    stream = dataset.generate(duration=300.0, seed=11, max_events=15000)
+    print(f"generated {len(stream)} sensor readings over {stream.time_span():.0f} time units")
+
+    workload = WorkloadGenerator(dataset, seed=2)
+    pattern = workload.sequence_pattern(4)
+    print(f"pattern under detection: {pattern}")
+    print(f"time window: {pattern.window:g} time units")
+    print()
+
+    policies = {
+        "invariant-based (the paper's method)": InvariantBasedPolicy(distance=0.1),
+        "constant threshold (ZStream baseline)": ConstantThresholdPolicy(0.5),
+        "unconditional (lazy-NFA baseline)": UnconditionalPolicy(),
+        "static plan (no adaptation)": StaticPolicy(),
+    }
+
+    rows = []
+    for label, policy in policies.items():
+        engine = AdaptiveCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            policy,
+            monitoring_interval=1.0,
+        )
+        result = engine.run(InMemoryEventStream(list(stream)))
+        rows.append(
+            {
+                "policy": label,
+                "matches": result.match_count,
+                "throughput": result.metrics.throughput,
+                "reoptimizations": result.metrics.reoptimizations,
+                "overhead": f"{result.metrics.overhead_fraction:.2%}",
+            }
+        )
+
+    print(
+        format_table(
+            rows,
+            ["policy", "matches", "throughput", "reoptimizations", "overhead"],
+            title="adaptation policies on the shifting traffic stream",
+        )
+    )
+    print(
+        "All policies report the same matches; they differ in how quickly they\n"
+        "react to the rate shifts and in how much work they waste on needless\n"
+        "reoptimization."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,181 @@
+"""repro — adaptive complex event processing with invariant-based reoptimization.
+
+A from-scratch reproduction of *"Efficient Adaptive Detection of Complex
+Event Patterns"* (Kolchinsky & Schuster, 2018): a complete adaptive CEP
+stack — pattern language, statistics estimation, plan generation (greedy
+order-based and ZStream tree-based), runtime engines (lazy NFA and tree
+evaluation), plan migration — plus the paper's contribution, the
+invariant-based reoptimizing decision method, and the baselines it is
+compared against.
+
+Quick start::
+
+    from repro import (
+        EventType, PatternBuilder, EqualityCondition,
+        GreedyOrderPlanner, InvariantBasedPolicy, AdaptiveCEPEngine,
+    )
+
+    camera_a, camera_b, camera_c = EventType("A"), EventType("B"), EventType("C")
+    pattern = (
+        PatternBuilder.sequence()
+        .event(camera_a, "a").event(camera_b, "b").event(camera_c, "c")
+        .where(EqualityCondition("a", "b", "person_id"))
+        .where(EqualityCondition("b", "c", "person_id"))
+        .within(600)
+        .build()
+    )
+    engine = AdaptiveCEPEngine(pattern, GreedyOrderPlanner(), InvariantBasedPolicy())
+    for event in my_stream:
+        for match in engine.process(event):
+            print(match)
+"""
+
+from repro.errors import (
+    ReproError,
+    SchemaError,
+    PatternError,
+    PlanError,
+    StatisticsError,
+    OptimizerError,
+    AdaptationError,
+    EngineError,
+    DatasetError,
+    ExperimentError,
+)
+from repro.events import Event, EventType, EventSchema, AttributeSpec, InMemoryEventStream
+from repro.conditions import (
+    Condition,
+    TrueCondition,
+    AndCondition,
+    OrCondition,
+    NotCondition,
+    AttributeComparisonCondition,
+    AttributeThresholdCondition,
+    EqualityCondition,
+    PredicateCondition,
+    ConditionSet,
+)
+from repro.patterns import (
+    Pattern,
+    PatternItem,
+    PatternOperator,
+    CompositePattern,
+    PatternBuilder,
+    seq,
+    conjunction,
+    disjunction,
+)
+from repro.statistics import (
+    StatisticsSnapshot,
+    StatisticsCollector,
+    GroundTruthStatisticsProvider,
+    StaticStatisticsProvider,
+)
+from repro.plans import OrderBasedPlan, TreeBasedPlan
+from repro.optimizer import (
+    GreedyOrderPlanner,
+    ZStreamTreePlanner,
+    TrivialOrderPlanner,
+    TrivialTreePlanner,
+    PlanGenerationResult,
+)
+from repro.adaptive import (
+    AdaptationController,
+    InvariantBasedPolicy,
+    ConstantThresholdPolicy,
+    UnconditionalPolicy,
+    StaticPolicy,
+    build_invariant_set,
+    average_relative_difference,
+    AverageRelativeDifferenceDistance,
+)
+from repro.engine import (
+    AdaptiveCEPEngine,
+    MultiPatternEngine,
+    LazyNFAEngine,
+    TreeEvaluationEngine,
+    Match,
+    RunResult,
+)
+from repro.datasets import TrafficDatasetSimulator, StockDatasetSimulator
+from repro.workloads import WorkloadGenerator
+from repro.metrics import RunMetrics
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "SchemaError",
+    "PatternError",
+    "PlanError",
+    "StatisticsError",
+    "OptimizerError",
+    "AdaptationError",
+    "EngineError",
+    "DatasetError",
+    "ExperimentError",
+    # events
+    "Event",
+    "EventType",
+    "EventSchema",
+    "AttributeSpec",
+    "InMemoryEventStream",
+    # conditions
+    "Condition",
+    "TrueCondition",
+    "AndCondition",
+    "OrCondition",
+    "NotCondition",
+    "AttributeComparisonCondition",
+    "AttributeThresholdCondition",
+    "EqualityCondition",
+    "PredicateCondition",
+    "ConditionSet",
+    # patterns
+    "Pattern",
+    "PatternItem",
+    "PatternOperator",
+    "CompositePattern",
+    "PatternBuilder",
+    "seq",
+    "conjunction",
+    "disjunction",
+    # statistics
+    "StatisticsSnapshot",
+    "StatisticsCollector",
+    "GroundTruthStatisticsProvider",
+    "StaticStatisticsProvider",
+    # plans
+    "OrderBasedPlan",
+    "TreeBasedPlan",
+    # optimizer
+    "GreedyOrderPlanner",
+    "ZStreamTreePlanner",
+    "TrivialOrderPlanner",
+    "TrivialTreePlanner",
+    "PlanGenerationResult",
+    # adaptive
+    "AdaptationController",
+    "InvariantBasedPolicy",
+    "ConstantThresholdPolicy",
+    "UnconditionalPolicy",
+    "StaticPolicy",
+    "build_invariant_set",
+    "average_relative_difference",
+    "AverageRelativeDifferenceDistance",
+    # engine
+    "AdaptiveCEPEngine",
+    "MultiPatternEngine",
+    "LazyNFAEngine",
+    "TreeEvaluationEngine",
+    "Match",
+    "RunResult",
+    # datasets & workloads
+    "TrafficDatasetSimulator",
+    "StockDatasetSimulator",
+    "WorkloadGenerator",
+    # metrics
+    "RunMetrics",
+]

@@ -1,0 +1,63 @@
+"""Adaptive core: the paper's contribution.
+
+This package implements the reoptimizing decision functions compared in the
+paper and the invariant machinery behind the proposed method:
+
+* :class:`Invariant` / :class:`InvariantSet` — deciding conditions selected
+  for runtime verification, with optional minimal distance ``d``.
+* :class:`InvariantBasedPolicy` — the paper's method (Section 3), including
+  the K-invariant extension and distance-based invariants.
+* :class:`ConstantThresholdPolicy` — the ZStream baseline (reoptimize when
+  any statistic drifts by more than a threshold ``t``).
+* :class:`UnconditionalPolicy` — the lazy-NFA baseline (reoptimize every
+  monitoring period).
+* :class:`StaticPolicy` — never reoptimize (the "static plan" baseline).
+* :class:`AdaptationController` — drives the detection–adaptation loop
+  (Algorithm 1): polls statistics, asks the policy, invokes the planner,
+  and installs better plans.
+"""
+
+from repro.adaptive.invariants import (
+    Invariant,
+    InvariantSet,
+    SelectionStrategy,
+    TightestConditionStrategy,
+    ViolationProbabilityStrategy,
+    build_invariant_set,
+)
+from repro.adaptive.distance import (
+    DistanceEstimator,
+    FixedDistance,
+    AverageRelativeDifferenceDistance,
+    average_relative_difference,
+)
+from repro.adaptive.policies import (
+    ReoptimizationPolicy,
+    InvariantBasedPolicy,
+    ConstantThresholdPolicy,
+    UnconditionalPolicy,
+    StaticPolicy,
+    PolicyDecision,
+)
+from repro.adaptive.controller import AdaptationController, AdaptationRecord
+
+__all__ = [
+    "Invariant",
+    "InvariantSet",
+    "SelectionStrategy",
+    "TightestConditionStrategy",
+    "ViolationProbabilityStrategy",
+    "build_invariant_set",
+    "DistanceEstimator",
+    "FixedDistance",
+    "AverageRelativeDifferenceDistance",
+    "average_relative_difference",
+    "ReoptimizationPolicy",
+    "InvariantBasedPolicy",
+    "ConstantThresholdPolicy",
+    "UnconditionalPolicy",
+    "StaticPolicy",
+    "PolicyDecision",
+    "AdaptationController",
+    "AdaptationRecord",
+]

@@ -1,0 +1,220 @@
+"""The detection–adaptation loop controller (Algorithm 1 in the paper).
+
+The :class:`AdaptationController` owns the adaptive side of an ACEP system:
+it holds the current plan, periodically evaluates the reoptimizing decision
+function ``D`` against fresh statistics, re-invokes the plan-generation
+algorithm ``A`` when ``D`` says so, compares the new plan's cost with the
+current one, and reports plan replacements to the runtime engine.
+
+It also does the bookkeeping the experiments need: the number of times
+``D`` and ``A`` ran, the number of actual plan replacements, and the time
+spent inside ``D`` and ``A`` (the "computational overhead" panels of
+Figures 6–9).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.adaptive.policies import InvariantBasedPolicy, PolicyDecision, ReoptimizationPolicy
+from repro.errors import AdaptationError
+from repro.optimizer.base import PlanGenerator
+from repro.optimizer.recorder import PlanGenerationResult
+from repro.patterns import Pattern
+from repro.plans.base import EvaluationPlan
+from repro.statistics import StatisticsSnapshot
+
+
+@dataclass
+class AdaptationRecord:
+    """One entry in the adaptation log: a plan replacement."""
+
+    time: float
+    reason: str
+    previous_cost: float
+    new_cost: float
+    plan_description: str
+
+
+@dataclass
+class AdaptationStatistics:
+    """Counters accumulated by the controller during a run."""
+
+    decisions_evaluated: int = 0
+    reoptimizations_requested: int = 0
+    plans_generated: int = 0
+    plans_replaced: int = 0
+    time_in_decision: float = 0.0
+    time_in_generation: float = 0.0
+    replacements: List[AdaptationRecord] = field(default_factory=list)
+
+    @property
+    def adaptation_time(self) -> float:
+        """Total time spent in D and A (the computational-overhead numerator)."""
+        return self.time_in_decision + self.time_in_generation
+
+
+class AdaptationController:
+    """Drives plan selection and adaptation for one pattern.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern being evaluated.
+    planner:
+        The plan-generation algorithm ``A``.
+    policy:
+        The reoptimizing decision function ``D``.
+    initial_snapshot:
+        Statistics used to create the initial plan (Algorithm 1's
+        ``in_stat``).  May be ``None``, in which case the first monitoring
+        period will trigger plan creation.
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        planner: PlanGenerator,
+        policy: ReoptimizationPolicy,
+        initial_snapshot: Optional[StatisticsSnapshot] = None,
+        min_relative_improvement: float = 0.0,
+    ):
+        if min_relative_improvement < 0:
+            raise AdaptationError("min_relative_improvement must be >= 0")
+        self._pattern = pattern
+        self._planner = planner
+        self._policy = policy
+        self._min_relative_improvement = float(min_relative_improvement)
+        self._current_result: Optional[PlanGenerationResult] = None
+        self.statistics = AdaptationStatistics()
+        if initial_snapshot is not None:
+            self._install_initial_plan(initial_snapshot)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def pattern(self) -> Pattern:
+        return self._pattern
+
+    @property
+    def planner(self) -> PlanGenerator:
+        return self._planner
+
+    @property
+    def policy(self) -> ReoptimizationPolicy:
+        return self._policy
+
+    @property
+    def current_plan(self) -> EvaluationPlan:
+        if self._current_result is None:
+            raise AdaptationError("no plan installed yet; call update() first")
+        return self._current_result.plan
+
+    @property
+    def current_result(self) -> Optional[PlanGenerationResult]:
+        return self._current_result
+
+    @property
+    def has_plan(self) -> bool:
+        return self._current_result is not None
+
+    # ------------------------------------------------------------------
+    # Plan management
+    # ------------------------------------------------------------------
+    def _install_initial_plan(self, snapshot: StatisticsSnapshot) -> None:
+        result = self._timed_generate(snapshot)
+        self._current_result = result
+        self._policy.on_plan_installed(result, snapshot)
+
+    def _timed_generate(self, snapshot: StatisticsSnapshot) -> PlanGenerationResult:
+        started = time.perf_counter()
+        result = self._planner.generate(self._pattern, snapshot)
+        self.statistics.time_in_generation += time.perf_counter() - started
+        self.statistics.plans_generated += 1
+        return result
+
+    def update(self, snapshot: StatisticsSnapshot) -> Optional[EvaluationPlan]:
+        """One iteration of the detection–adaptation loop's decision step.
+
+        Evaluates ``D`` on the given statistics and, when it returns true,
+        invokes ``A``.  The new plan is installed only if it improves on the
+        current plan's cost (Algorithm 1: "if new_plan is better than
+        curr_plan").  Returns the newly installed plan, or ``None`` when the
+        plan did not change.
+        """
+        if self._current_result is None:
+            result = self._timed_generate(snapshot)
+            self._current_result = result
+            self._policy.on_plan_installed(result, snapshot)
+            self.statistics.plans_replaced += 1
+            self.statistics.replacements.append(
+                AdaptationRecord(
+                    time=snapshot.timestamp,
+                    reason="initial plan",
+                    previous_cost=float("inf"),
+                    new_cost=result.plan.cost(snapshot),
+                    plan_description=result.plan.describe(),
+                )
+            )
+            return result.plan
+
+        started = time.perf_counter()
+        decision: PolicyDecision = self._policy.should_reoptimize(snapshot)
+        self.statistics.time_in_decision += time.perf_counter() - started
+        self.statistics.decisions_evaluated += 1
+        if not decision.reoptimize:
+            return None
+
+        self.statistics.reoptimizations_requested += 1
+        new_result = self._timed_generate(snapshot)
+        current_cost = self._current_result.plan.cost(snapshot)
+        new_cost = new_result.plan.cost(snapshot)
+
+        required_cost = current_cost * (1.0 - self._min_relative_improvement)
+        if new_result.plan == self._current_result.plan or new_cost >= required_cost:
+            # The freshly generated plan is not a (meaningful) improvement;
+            # keep the current one.  The small improvement margin implements
+            # Algorithm 1's "if new_plan is better than curr_plan" check
+            # robustly against estimator noise, so near-identical plans do
+            # not oscillate with every monitoring period.
+            return None
+
+        if isinstance(self._policy, InvariantBasedPolicy):
+            self._policy.observe_adaptation(current_cost, new_cost)
+        self._current_result = new_result
+        self._policy.on_plan_installed(new_result, snapshot)
+        self.statistics.plans_replaced += 1
+        self.statistics.replacements.append(
+            AdaptationRecord(
+                time=snapshot.timestamp,
+                reason=decision.reason,
+                previous_cost=current_cost,
+                new_cost=new_cost,
+                plan_description=new_result.plan.describe(),
+            )
+        )
+        return new_result.plan
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def overhead_fraction(self, total_time: float) -> float:
+        """Fraction of ``total_time`` spent inside D and A."""
+        if total_time <= 0:
+            return 0.0
+        return min(1.0, self.statistics.adaptation_time / total_time)
+
+    def describe(self) -> str:
+        stats = self.statistics
+        lines = [
+            f"policy={self._policy.name}, planner={self._planner.name}",
+            f"decisions={stats.decisions_evaluated}, requested={stats.reoptimizations_requested}, "
+            f"replaced={stats.plans_replaced}",
+            f"time: D={stats.time_in_decision:.4f}s, A={stats.time_in_generation:.4f}s",
+        ]
+        if self._current_result is not None:
+            lines.append(f"current plan: {self._current_result.plan.describe()}")
+        return "\n".join(lines)

@@ -1,0 +1,150 @@
+"""Minimal-distance estimation for distance-based invariants (Section 3.4).
+
+The minimal distance ``d`` controls how much an invariant's two sides must
+diverge before a violation is declared.  The paper identifies three ways of
+choosing ``d``:
+
+1. parameter scanning (implemented by the experiment harness — see
+   :mod:`repro.experiments.distance_sweep`),
+2. the *average relative difference* heuristic, implemented here, and
+3. meta-adaptive tuning, implemented here in a simple form
+   (:class:`MetaAdaptiveDistance`) as the paper's future-work direction.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.errors import AdaptationError
+from repro.optimizer.recorder import DecidingConditionSet, PlanGenerationResult
+from repro.statistics import StatisticsSnapshot
+
+
+def average_relative_difference(
+    condition_sets: Iterable[DecidingConditionSet],
+    snapshot: StatisticsSnapshot,
+) -> float:
+    """The davg heuristic of Section 3.4.
+
+    Averages, over every deciding condition recorded during plan
+    generation, the relative difference between the two sides of the
+    inequality::
+
+        d = AVG( |f2(stat2) - f1(stat1)| / min(f1(stat1), f2(stat2)) )
+
+    Returns 0.0 when no conditions were recorded (e.g. for single-item
+    patterns), which degenerates to the basic method.
+    """
+    differences: List[float] = []
+    for condition_set in condition_sets:
+        for condition in condition_set:
+            differences.append(condition.relative_difference(snapshot))
+    if not differences:
+        return 0.0
+    return sum(differences) / len(differences)
+
+
+class DistanceEstimator:
+    """Strategy interface: produce the distance to use for a new plan."""
+
+    def distance_for(self, result: PlanGenerationResult) -> float:
+        raise NotImplementedError
+
+    def observe_adaptation(
+        self, previous_cost: float, new_cost: float
+    ) -> None:
+        """Feedback hook called after a plan replacement (used by meta-adaptive)."""
+
+
+class FixedDistance(DistanceEstimator):
+    """Always use the same, externally supplied distance."""
+
+    def __init__(self, distance: float):
+        if distance < 0:
+            raise AdaptationError("distance must be >= 0")
+        self._distance = float(distance)
+
+    def distance_for(self, result: PlanGenerationResult) -> float:
+        return self._distance
+
+    def __repr__(self) -> str:
+        return f"FixedDistance({self._distance:g})"
+
+
+class AverageRelativeDifferenceDistance(DistanceEstimator):
+    """Set ``d`` to the average relative difference observed at plan creation.
+
+    Parameters
+    ----------
+    scale:
+        Optional multiplier applied to the raw average (1.0 reproduces the
+        paper's formula).
+    cap:
+        Upper bound on the returned distance, guarding against degenerate
+        plans where one condition has an enormous relative slack.
+    """
+
+    def __init__(self, scale: float = 1.0, cap: float = 10.0):
+        if scale < 0 or cap < 0:
+            raise AdaptationError("scale and cap must be >= 0")
+        self._scale = scale
+        self._cap = cap
+
+    def distance_for(self, result: PlanGenerationResult) -> float:
+        davg = average_relative_difference(result.condition_sets, result.snapshot)
+        return min(self._cap, self._scale * davg)
+
+    def __repr__(self) -> str:
+        return f"AverageRelativeDifferenceDistance(scale={self._scale:g})"
+
+
+class MetaAdaptiveDistance(DistanceEstimator):
+    """Tune ``d`` on-the-fly from the observed gain of each adaptation.
+
+    Starts from an initial distance (possibly produced by another
+    estimator).  After every plan replacement the realised relative cost
+    improvement is compared against a target: replacements that gained less
+    than ``target_gain`` increase the distance (we were too eager),
+    replacements that gained much more decrease it (we may be reacting too
+    late).  This is a simple concrete instance of the meta-adaptive
+    direction sketched in Section 3.4.
+    """
+
+    def __init__(
+        self,
+        initial_distance: float = 0.1,
+        target_gain: float = 0.1,
+        adjustment: float = 1.5,
+        minimum: float = 0.0,
+        maximum: float = 2.0,
+    ):
+        if initial_distance < 0:
+            raise AdaptationError("initial_distance must be >= 0")
+        if adjustment <= 1.0:
+            raise AdaptationError("adjustment factor must be > 1")
+        self._distance = initial_distance
+        self._target_gain = target_gain
+        self._adjustment = adjustment
+        self._minimum = minimum
+        self._maximum = maximum
+
+    @property
+    def current_distance(self) -> float:
+        return self._distance
+
+    def distance_for(self, result: PlanGenerationResult) -> float:
+        return self._distance
+
+    def observe_adaptation(self, previous_cost: float, new_cost: float) -> None:
+        if previous_cost <= 0:
+            return
+        gain = (previous_cost - new_cost) / previous_cost
+        if gain < self._target_gain:
+            self._distance = min(self._maximum, max(self._distance, 1e-3) * self._adjustment)
+        elif gain > 2 * self._target_gain:
+            self._distance = max(self._minimum, self._distance / self._adjustment)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetaAdaptiveDistance(d={self._distance:g}, target={self._target_gain:g})"
+        )

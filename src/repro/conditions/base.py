@@ -1,0 +1,164 @@
+"""Base condition classes and Boolean combinators.
+
+A condition is defined over pattern *variables* (the names bound to each
+primitive event position of a pattern, e.g. ``a``, ``b``, ``c`` in
+``SEQ(A a, B b, C c)``).  At runtime the engine supplies a *binding*: a
+mapping from variable name to the concrete :class:`~repro.events.Event`
+bound to it (or to a list of events for Kleene-closure variables).
+
+Conditions expose:
+
+* ``variables`` — the set of variable names they reference;
+* ``evaluate(binding)`` — Boolean evaluation against a (possibly partial)
+  binding; a condition evaluates to ``True`` when some referenced variable
+  is still unbound, so engines can call conditions eagerly as the partial
+  match grows without rejecting matches prematurely.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Mapping, Sequence, Tuple
+
+from repro.errors import PatternError
+
+
+class Condition:
+    """Abstract Boolean condition over pattern variables."""
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        """Names of the pattern variables referenced by this condition."""
+        raise NotImplementedError
+
+    def evaluate(self, binding: Mapping[str, object]) -> bool:
+        """Evaluate against a binding; unbound variables make it vacuously true."""
+        raise NotImplementedError
+
+    def is_fully_bound(self, binding: Mapping[str, object]) -> bool:
+        """Whether every referenced variable is present in ``binding``."""
+        return all(variable in binding for variable in self.variables)
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Condition") -> "Condition":
+        return AndCondition([self, other])
+
+    def __or__(self, other: "Condition") -> "Condition":
+        return OrCondition([self, other])
+
+    def __invert__(self) -> "Condition":
+        return NotCondition(self)
+
+    def flatten(self) -> Sequence["Condition"]:
+        """Return the atomic conjuncts of this condition.
+
+        Only top-level conjunctions are flattened; disjunctions and
+        negations are treated as opaque atoms.  The planner uses this to
+        attribute per-pair selectivities.
+        """
+        return (self,)
+
+
+class TrueCondition(Condition):
+    """The trivially true condition (used when a pattern has no predicates)."""
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return frozenset()
+
+    def evaluate(self, binding: Mapping[str, object]) -> bool:
+        return True
+
+    def flatten(self) -> Sequence[Condition]:
+        return ()
+
+    def __repr__(self) -> str:
+        return "TrueCondition()"
+
+
+class _CompositeCondition(Condition):
+    """Shared implementation for n-ary Boolean combinators."""
+
+    def __init__(self, operands: Iterable[Condition]):
+        self._operands: Tuple[Condition, ...] = tuple(operands)
+        if not self._operands:
+            raise PatternError(f"{type(self).__name__} requires at least one operand")
+        for operand in self._operands:
+            if not isinstance(operand, Condition):
+                raise PatternError(
+                    f"composite condition operands must be Conditions, "
+                    f"got {type(operand).__name__}"
+                )
+
+    @property
+    def operands(self) -> Tuple[Condition, ...]:
+        return self._operands
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        names: FrozenSet[str] = frozenset()
+        for operand in self._operands:
+            names |= operand.variables
+        return names
+
+
+class AndCondition(_CompositeCondition):
+    """Conjunction of conditions."""
+
+    def evaluate(self, binding: Mapping[str, object]) -> bool:
+        return all(operand.evaluate(binding) for operand in self._operands)
+
+    def flatten(self) -> Sequence[Condition]:
+        flattened = []
+        for operand in self._operands:
+            flattened.extend(operand.flatten())
+        return tuple(flattened)
+
+    def __repr__(self) -> str:
+        return " & ".join(repr(op) for op in self._operands)
+
+
+class OrCondition(_CompositeCondition):
+    """Disjunction of conditions.
+
+    A disjunction is vacuously true while *any* referenced variable is
+    unbound, because a future binding may still satisfy one of the branches.
+    """
+
+    def evaluate(self, binding: Mapping[str, object]) -> bool:
+        if not self.is_fully_bound(binding):
+            return True
+        return any(operand.evaluate(binding) for operand in self._operands)
+
+    def __repr__(self) -> str:
+        return "(" + " | ".join(repr(op) for op in self._operands) + ")"
+
+
+class NotCondition(Condition):
+    """Negation of a condition.
+
+    Like :class:`OrCondition`, a negation is only enforced once all the
+    referenced variables are bound.
+    """
+
+    def __init__(self, operand: Condition):
+        if not isinstance(operand, Condition):
+            raise PatternError("NotCondition operand must be a Condition")
+        self._operand = operand
+
+    @property
+    def operand(self) -> Condition:
+        return self._operand
+
+    @property
+    def variables(self) -> FrozenSet[str]:
+        return self._operand.variables
+
+    def evaluate(self, binding: Mapping[str, object]) -> bool:
+        if not self.is_fully_bound(binding):
+            return True
+        return not self._operand.evaluate(binding)
+
+    def __repr__(self) -> str:
+        return f"~({self._operand!r})"

@@ -1,0 +1,133 @@
+"""Condition set: the pattern's WHERE clause as seen by the planner.
+
+The planner works with per-variable-pair selectivities.  A
+:class:`ConditionSet` holds the flattened conjuncts of a pattern's condition
+and indexes them by the variables they reference, so that
+
+* the runtime engines can evaluate exactly the conditions that become
+  fully bound when a new event is added to a partial match, and
+* the statistics layer can associate each conjunct with the (unordered)
+  pair of pattern variables whose selectivity it determines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.conditions.base import AndCondition, Condition, TrueCondition
+
+
+class ConditionSet:
+    """An indexed collection of atomic (flattened) conditions."""
+
+    def __init__(self, condition: Condition = None):
+        self._conjuncts: List[Condition] = []
+        self._by_variables: Dict[FrozenSet[str], List[Condition]] = {}
+        if condition is not None:
+            self.add(condition)
+
+    @classmethod
+    def from_conditions(cls, conditions: Iterable[Condition]) -> "ConditionSet":
+        """Build a set from an iterable of conditions (conjoined)."""
+        condition_set = cls()
+        for condition in conditions:
+            condition_set.add(condition)
+        return condition_set
+
+    def add(self, condition: Condition) -> None:
+        """Add a condition; top-level conjunctions are flattened."""
+        for conjunct in condition.flatten():
+            if isinstance(conjunct, TrueCondition):
+                continue
+            self._conjuncts.append(conjunct)
+            key = conjunct.variables
+            self._by_variables.setdefault(key, []).append(conjunct)
+
+    # ------------------------------------------------------------------
+    # Introspection used by the planner and statistics layer
+    # ------------------------------------------------------------------
+    @property
+    def conjuncts(self) -> Sequence[Condition]:
+        return tuple(self._conjuncts)
+
+    def __len__(self) -> int:
+        return len(self._conjuncts)
+
+    def __iter__(self) -> Iterator[Condition]:
+        return iter(self._conjuncts)
+
+    def variables(self) -> FrozenSet[str]:
+        """All variables referenced by any condition."""
+        names: FrozenSet[str] = frozenset()
+        for conjunct in self._conjuncts:
+            names |= conjunct.variables
+        return names
+
+    def conditions_over(self, variables: Iterable[str]) -> List[Condition]:
+        """Conditions whose referenced variables are a subset of ``variables``."""
+        available = frozenset(variables)
+        return [c for c in self._conjuncts if c.variables <= available]
+
+    def conditions_between(self, group_a: Iterable[str], group_b: Iterable[str]) -> List[Condition]:
+        """Conditions that couple the two (disjoint) variable groups.
+
+        Used by the tree engine / ZStream cost model: the selectivity of an
+        internal node is the product over conditions linking its left and
+        right subtrees.
+        """
+        set_a = frozenset(group_a)
+        set_b = frozenset(group_b)
+        selected = []
+        for conjunct in self._conjuncts:
+            refs = conjunct.variables
+            if refs & set_a and refs & set_b and refs <= (set_a | set_b):
+                selected.append(conjunct)
+        return selected
+
+    def newly_applicable(
+        self, previously_bound: Iterable[str], newly_bound: str
+    ) -> List[Condition]:
+        """Conditions that become fully bound when ``newly_bound`` is added.
+
+        The engines call this when extending a partial match so each
+        condition is evaluated exactly once per match.
+        """
+        before = frozenset(previously_bound)
+        after = before | {newly_bound}
+        return [
+            c
+            for c in self._conjuncts
+            if newly_bound in c.variables and c.variables <= after
+        ]
+
+    def variable_pairs(self) -> List[Tuple[str, str]]:
+        """Sorted unordered pairs of variables coupled by some condition."""
+        pairs = set()
+        for conjunct in self._conjuncts:
+            refs = sorted(conjunct.variables)
+            if len(refs) == 2:
+                pairs.add((refs[0], refs[1]))
+            elif len(refs) > 2:
+                for i, left in enumerate(refs):
+                    for right in refs[i + 1 :]:
+                        pairs.add((left, right))
+        return sorted(pairs)
+
+    def single_variable_conditions(self, variable: str) -> List[Condition]:
+        """Conditions referencing only the given variable (local filters)."""
+        return list(self._by_variables.get(frozenset({variable}), []))
+
+    def as_condition(self) -> Condition:
+        """Reassemble the set as a single :class:`Condition`."""
+        if not self._conjuncts:
+            return TrueCondition()
+        if len(self._conjuncts) == 1:
+            return self._conjuncts[0]
+        return AndCondition(self._conjuncts)
+
+    def evaluate(self, binding: Mapping[str, object]) -> bool:
+        """Evaluate the whole conjunction against a binding."""
+        return all(conjunct.evaluate(binding) for conjunct in self._conjuncts)
+
+    def __repr__(self) -> str:
+        return f"ConditionSet({len(self._conjuncts)} conditions)"

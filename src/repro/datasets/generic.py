@@ -1,0 +1,64 @@
+"""A fully configurable dataset simulator.
+
+Useful for tests, ablations and for users who want to stress the adaptation
+layer with arbitrary statistical behaviour: every event type's rate model
+and payload generator is supplied explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.conditions import AttributeComparisonCondition, Condition
+from repro.datasets.base import DatasetSimulator
+from repro.events import EventType
+from repro.statistics import TimeVaryingValue
+
+PayloadGenerator = Callable[[str, float, np.random.Generator], Dict[str, float]]
+
+
+def _default_payload(
+    type_name: str, timestamp: float, rng: np.random.Generator
+) -> Dict[str, float]:
+    return {"value": float(rng.uniform(0.0, 1.0))}
+
+
+class ConfigurableDatasetSimulator(DatasetSimulator):
+    """Dataset whose rates, payloads and predicates are caller-supplied."""
+
+    name = "configurable"
+
+    def __init__(
+        self,
+        event_types: Sequence[EventType],
+        rate_models: Dict[str, TimeVaryingValue],
+        payload_generator: Optional[PayloadGenerator] = None,
+        condition_attribute: str = "value",
+        nominal_selectivity: float = 0.5,
+        window_per_size: float = 2.0,
+        seed: int = 0,
+        time_step: float = 1.0,
+    ):
+        super().__init__(event_types, rate_models, seed=seed, time_step=time_step)
+        self._payload_generator = payload_generator or _default_payload
+        self._condition_attribute = condition_attribute
+        self._nominal_selectivity = float(nominal_selectivity)
+        self._window_per_size = float(window_per_size)
+
+    def condition_between(self, variable_a: str, variable_b: str) -> Condition:
+        return AttributeComparisonCondition(
+            variable_a, self._condition_attribute, "<", variable_b, self._condition_attribute
+        )
+
+    def nominal_selectivity(self) -> float:
+        return self._nominal_selectivity
+
+    def default_window(self, pattern_size: int) -> float:
+        return self._window_per_size * pattern_size
+
+    def _payload(
+        self, type_name: str, timestamp: float, rng: np.random.Generator
+    ) -> Dict[str, float]:
+        return self._payload_generator(type_name, timestamp, rng)

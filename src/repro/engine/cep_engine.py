@@ -1,0 +1,215 @@
+"""The adaptive CEP engine facade (Algorithm 1 of the paper).
+
+:class:`AdaptiveCEPEngine` wires together every component of the ACEP
+architecture (Figure 2 in the paper):
+
+* the runtime evaluation mechanism (lazy NFA or tree engine, chosen
+  automatically from the plan type);
+* the statistics estimation component (an online
+  :class:`~repro.statistics.StatisticsCollector` fed from the stream, or an
+  externally supplied :class:`~repro.statistics.StatisticsProvider` such as
+  the dataset simulators' ground-truth models);
+* the optimizer — the reoptimizing decision function ``D`` (a
+  :class:`~repro.adaptive.ReoptimizationPolicy`) and the plan generator
+  ``A`` (a :class:`~repro.optimizer.PlanGenerator`), orchestrated by an
+  :class:`~repro.adaptive.AdaptationController`;
+* plan migration via :class:`~repro.engine.PlanMigrationManager`.
+
+The engine exposes two entry points: :meth:`process` for event-at-a-time
+use (examples, interactive use) and :meth:`run` which consumes an entire
+stream and returns a :class:`RunResult` with the matches and the
+performance metrics the experiments report.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional
+
+from repro.adaptive import AdaptationController, ReoptimizationPolicy
+from repro.engine.base import EvaluationEngine
+from repro.engine.match import Match
+from repro.engine.migration import PlanMigrationManager
+from repro.engine.nfa import LazyNFAEngine
+from repro.engine.tree import TreeEvaluationEngine
+from repro.errors import EngineError
+from repro.events import Event, EventStream
+from repro.metrics import RunMetrics
+from repro.optimizer import PlanGenerator
+from repro.patterns import Pattern
+from repro.plans import OrderBasedPlan, TreeBasedPlan
+from repro.plans.base import EvaluationPlan
+from repro.statistics import (
+    StatisticsCollector,
+    StatisticsProvider,
+    StatisticsSnapshot,
+)
+
+
+def engine_for_plan(
+    plan: EvaluationPlan, collector: Optional[StatisticsCollector] = None
+) -> EvaluationEngine:
+    """Instantiate the runtime engine matching a plan's family."""
+    if isinstance(plan, OrderBasedPlan):
+        return LazyNFAEngine(plan, collector)
+    if isinstance(plan, TreeBasedPlan):
+        return TreeEvaluationEngine(plan, collector)
+    raise EngineError(f"no runtime engine available for plan type {type(plan).__name__}")
+
+
+@dataclass
+class RunResult:
+    """Outcome of running the engine over a full stream."""
+
+    matches: List[Match]
+    metrics: RunMetrics
+    plan_history: List[str] = field(default_factory=list)
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matches)
+
+
+class AdaptiveCEPEngine:
+    """Adaptive detection of one pattern over an event stream.
+
+    Parameters
+    ----------
+    pattern:
+        The pattern to detect (a single, non-composite pattern; see
+        :class:`~repro.engine.MultiPatternEngine` for disjunctions).
+    planner:
+        The plan-generation algorithm ``A``.
+    policy:
+        The reoptimizing decision function ``D``.
+    statistics_provider:
+        Optional external statistics source (e.g. a dataset simulator's
+        ground-truth provider).  When omitted the engine maintains its own
+        sliding-window estimates from the stream it processes.
+    initial_snapshot:
+        Statistics used to build the initial plan.  When omitted, a uniform
+        snapshot (all rates equal) is used, which yields the pattern-order
+        plan — the same cold-start behaviour as the paper's systems.
+    monitoring_interval:
+        Stream-time between consecutive evaluations of ``D``.
+    statistics_window:
+        Sliding-window length of the internal collector (defaults to four
+        pattern windows).
+    """
+
+    def __init__(
+        self,
+        pattern: Pattern,
+        planner: PlanGenerator,
+        policy: ReoptimizationPolicy,
+        statistics_provider: Optional[StatisticsProvider] = None,
+        initial_snapshot: Optional[StatisticsSnapshot] = None,
+        monitoring_interval: float = 1.0,
+        statistics_window: Optional[float] = None,
+    ):
+        if monitoring_interval <= 0:
+            raise EngineError("monitoring_interval must be positive")
+        self.pattern = pattern
+        self.planner = planner
+        self.policy = policy
+        self._provider = statistics_provider
+        self._monitoring_interval = float(monitoring_interval)
+
+        window = pattern.window if pattern.window != float("inf") else 100.0
+        self._collector = StatisticsCollector(
+            window=statistics_window or 5.0 * window
+        )
+        self._collector.register_pattern(pattern)
+
+        if initial_snapshot is None:
+            initial_snapshot = self._uniform_snapshot()
+        self.controller = AdaptationController(
+            pattern, planner, policy, initial_snapshot
+        )
+        initial_engine = engine_for_plan(self.controller.current_plan, self._collector)
+        self._migration = PlanMigrationManager(initial_engine, window=window)
+        self._next_monitor_time: Optional[float] = None
+        self._plan_history: List[str] = [self.controller.current_plan.describe()]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def current_plan(self) -> EvaluationPlan:
+        return self.controller.current_plan
+
+    @property
+    def collector(self) -> StatisticsCollector:
+        return self._collector
+
+    @property
+    def migration_manager(self) -> PlanMigrationManager:
+        return self._migration
+
+    @property
+    def plan_history(self) -> List[str]:
+        return list(self._plan_history)
+
+    def reoptimization_count(self) -> int:
+        """Number of actual plan replacements performed so far."""
+        return self._migration.switches_performed
+
+    def _uniform_snapshot(self) -> StatisticsSnapshot:
+        rates = {item.event_type.name: 1.0 for item in self.pattern.items}
+        return StatisticsSnapshot(rates, {}, timestamp=0.0)
+
+    # ------------------------------------------------------------------
+    # Event-at-a-time API
+    # ------------------------------------------------------------------
+    def process(self, event: Event) -> List[Match]:
+        """Process one event: adapt if a monitoring period elapsed, then match."""
+        now = event.timestamp
+        if self._next_monitor_time is None:
+            self._next_monitor_time = now + self._monitoring_interval
+        elif now >= self._next_monitor_time:
+            self._run_adaptation_step(now)
+            self._next_monitor_time = now + self._monitoring_interval
+
+        self._collector.observe_event(event)
+        return self._migration.process(event)
+
+    def _run_adaptation_step(self, now: float) -> None:
+        """One iteration of the detection–adaptation loop's decision phase."""
+        if self._provider is not None:
+            snapshot = self._provider.snapshot(now)
+        else:
+            snapshot = self._collector.snapshot(now)
+        new_plan = self.controller.update(snapshot)
+        if new_plan is not None:
+            new_engine = engine_for_plan(new_plan, self._collector)
+            self._migration.switch_to(new_engine, switch_time=now)
+            self._plan_history.append(new_plan.describe())
+
+    # ------------------------------------------------------------------
+    # Whole-stream API
+    # ------------------------------------------------------------------
+    def run(self, stream: "EventStream | Iterable[Event]") -> RunResult:
+        """Process an entire stream and report matches plus run metrics."""
+        matches: List[Match] = []
+        events_processed = 0
+        started = time.perf_counter()
+        for event in stream:
+            matches.extend(self.process(event))
+            events_processed += 1
+        duration = time.perf_counter() - started
+
+        counters = self._migration.total_counters()
+        adaptation = self.controller.statistics
+        metrics = RunMetrics(
+            events_processed=events_processed,
+            matches_emitted=len(matches),
+            duration_seconds=duration,
+            reoptimizations=self._migration.switches_performed,
+            decisions_evaluated=adaptation.decisions_evaluated,
+            time_in_decision=adaptation.time_in_decision,
+            time_in_generation=adaptation.time_in_generation,
+            partial_matches_created=counters.partial_matches_created,
+            extension_attempts=counters.extension_attempts,
+        )
+        return RunResult(matches=matches, metrics=metrics, plan_history=self.plan_history)

@@ -1,0 +1,169 @@
+"""Partial and complete matches.
+
+A *partial match* is a consistent binding of a subset of a pattern's
+positive variables to concrete events.  A *match* is a completed binding of
+all positive variables (after negation filtering and Kleene expansion).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.events import Event
+
+BindingValue = Union[Event, List[Event]]
+
+
+class PartialMatch:
+    """An immutable binding of pattern variables to events.
+
+    Partial matches are extended by creating new objects (``extended``), so
+    an engine can keep the original open for other extensions without
+    defensive copying.
+    """
+
+    __slots__ = ("_bindings", "_min_timestamp", "_max_timestamp")
+
+    def __init__(self, bindings: Optional[Mapping[str, BindingValue]] = None):
+        self._bindings: Dict[str, BindingValue] = dict(bindings or {})
+        timestamps = [e.timestamp for e in self.events()]
+        self._min_timestamp = min(timestamps) if timestamps else None
+        self._max_timestamp = max(timestamps) if timestamps else None
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def bindings(self) -> Mapping[str, BindingValue]:
+        return self._bindings
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        return tuple(self._bindings)
+
+    @property
+    def size(self) -> int:
+        """Number of bound variables."""
+        return len(self._bindings)
+
+    @property
+    def min_timestamp(self) -> Optional[float]:
+        return self._min_timestamp
+
+    @property
+    def max_timestamp(self) -> Optional[float]:
+        return self._max_timestamp
+
+    def events(self) -> Iterator[Event]:
+        """All bound events (Kleene bindings are flattened)."""
+        for value in self._bindings.values():
+            if isinstance(value, list):
+                yield from value
+            else:
+                yield value
+
+    def event_ids(self) -> frozenset:
+        """Identity key over the bound events (used for deduplication)."""
+        return frozenset(
+            (event.type_name, event.timestamp, event.sequence_number)
+            for event in self.events()
+        )
+
+    def get(self, variable: str) -> Optional[BindingValue]:
+        return self._bindings.get(variable)
+
+    def __contains__(self, variable: str) -> bool:
+        return variable in self._bindings
+
+    def contains_event(self, event: Event) -> bool:
+        """Whether the exact event is already bound somewhere in the match."""
+        for bound in self.events():
+            if bound is event:
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Derivation
+    # ------------------------------------------------------------------
+    def extended(self, variable: str, value: BindingValue) -> "PartialMatch":
+        """Return a new partial match with one more variable bound."""
+        bindings = dict(self._bindings)
+        bindings[variable] = value
+        return PartialMatch(bindings)
+
+    def merged(self, other: "PartialMatch") -> "PartialMatch":
+        """Return a new partial match combining two disjoint bindings."""
+        bindings = dict(self._bindings)
+        bindings.update(other._bindings)
+        return PartialMatch(bindings)
+
+    def span(self) -> float:
+        """Temporal span of the bound events (0 for empty/singleton matches)."""
+        if self._min_timestamp is None or self._max_timestamp is None:
+            return 0.0
+        return self._max_timestamp - self._min_timestamp
+
+    def within_window(self, window: float) -> bool:
+        return self.span() <= window
+
+    def __repr__(self) -> str:
+        parts = []
+        for variable, value in self._bindings.items():
+            if isinstance(value, list):
+                parts.append(f"{variable}=[{len(value)} events]")
+            else:
+                parts.append(f"{variable}@{value.timestamp:g}")
+        return f"PartialMatch({', '.join(parts)})"
+
+
+class Match:
+    """A completed pattern match reported to the user.
+
+    Parameters
+    ----------
+    pattern_name:
+        Name of the matched pattern.
+    bindings:
+        Final variable bindings (Kleene variables bind to lists of events).
+    detection_time:
+        Stream time at which the match was emitted.
+    """
+
+    __slots__ = ("pattern_name", "bindings", "detection_time")
+
+    def __init__(
+        self,
+        pattern_name: str,
+        bindings: Mapping[str, BindingValue],
+        detection_time: float,
+    ):
+        self.pattern_name = pattern_name
+        self.bindings = dict(bindings)
+        self.detection_time = float(detection_time)
+
+    def events(self) -> List[Event]:
+        events: List[Event] = []
+        for value in self.bindings.values():
+            if isinstance(value, list):
+                events.extend(value)
+            else:
+                events.append(value)
+        return events
+
+    def event_ids(self) -> frozenset:
+        return frozenset(
+            (event.type_name, event.timestamp, event.sequence_number)
+            for event in self.events()
+        )
+
+    def __getitem__(self, variable: str) -> BindingValue:
+        return self.bindings[variable]
+
+    def __repr__(self) -> str:
+        variables = ", ".join(sorted(self.bindings))
+        return f"Match({self.pattern_name}: {variables} @ {self.detection_time:g})"
+
+
+def primary_events(bindings: Mapping[str, BindingValue]) -> Sequence[Event]:
+    """The single-event bindings of a match (excluding Kleene lists)."""
+    return [value for value in bindings.values() if isinstance(value, Event)]

@@ -1,0 +1,123 @@
+"""Multi-pattern engine for composite (disjunction) patterns.
+
+Following the paper, a composite pattern — a disjunction of independent
+sub-sequences — is evaluated by running each sub-pattern independently with
+its own plan, statistics and adaptation state; the union of the
+sub-patterns' matches is the composite pattern's output.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, List, Optional
+
+from repro.adaptive import ReoptimizationPolicy
+from repro.engine.cep_engine import AdaptiveCEPEngine, RunResult
+from repro.engine.match import Match
+from repro.errors import EngineError
+from repro.events import Event, EventStream
+from repro.metrics import RunMetrics
+from repro.optimizer import PlanGenerator
+from repro.patterns import CompositePattern, Pattern
+from repro.statistics import StatisticsProvider, StatisticsSnapshot
+
+PolicyFactory = Callable[[], ReoptimizationPolicy]
+
+
+class MultiPatternEngine:
+    """Evaluates a :class:`CompositePattern` as independent sub-engines.
+
+    Parameters
+    ----------
+    pattern:
+        The composite pattern (disjunction of sub-patterns).
+    planner:
+        Plan-generation algorithm shared by all sub-patterns (planners are
+        stateless, so sharing one instance is safe).
+    policy_factory:
+        Callable producing a fresh decision policy per sub-pattern
+        (policies are stateful: each sub-pattern needs its own).
+    statistics_provider / initial_snapshot / monitoring_interval:
+        Forwarded to every sub-engine.
+    """
+
+    def __init__(
+        self,
+        pattern: CompositePattern,
+        planner: PlanGenerator,
+        policy_factory: PolicyFactory,
+        statistics_provider: Optional[StatisticsProvider] = None,
+        initial_snapshot: Optional[StatisticsSnapshot] = None,
+        monitoring_interval: float = 1.0,
+    ):
+        if not isinstance(pattern, CompositePattern):
+            raise EngineError("MultiPatternEngine requires a CompositePattern")
+        self.pattern = pattern
+        self._engines: List[AdaptiveCEPEngine] = []
+        for subpattern in pattern.subpatterns():
+            self._engines.append(
+                AdaptiveCEPEngine(
+                    pattern=subpattern,
+                    planner=planner,
+                    policy=policy_factory(),
+                    statistics_provider=statistics_provider,
+                    initial_snapshot=_restrict_snapshot(initial_snapshot, subpattern),
+                    monitoring_interval=monitoring_interval,
+                )
+            )
+
+    @property
+    def sub_engines(self) -> List[AdaptiveCEPEngine]:
+        return list(self._engines)
+
+    def reoptimization_count(self) -> int:
+        return sum(engine.reoptimization_count() for engine in self._engines)
+
+    # ------------------------------------------------------------------
+    # Processing
+    # ------------------------------------------------------------------
+    def process(self, event: Event) -> List[Match]:
+        matches: List[Match] = []
+        for engine in self._engines:
+            matches.extend(engine.process(event))
+        return matches
+
+    def run(self, stream: "EventStream | Iterable[Event]") -> RunResult:
+        """Process a whole stream through every sub-engine."""
+        matches: List[Match] = []
+        events_processed = 0
+        started = time.perf_counter()
+        for event in stream:
+            matches.extend(self.process(event))
+            events_processed += 1
+        duration = time.perf_counter() - started
+
+        metrics = RunMetrics(
+            events_processed=events_processed,
+            matches_emitted=len(matches),
+            duration_seconds=duration,
+        )
+        plan_history: List[str] = []
+        for engine in self._engines:
+            adaptation = engine.controller.statistics
+            counters = engine.migration_manager.total_counters()
+            metrics.reoptimizations += engine.reoptimization_count()
+            metrics.decisions_evaluated += adaptation.decisions_evaluated
+            metrics.time_in_decision += adaptation.time_in_decision
+            metrics.time_in_generation += adaptation.time_in_generation
+            metrics.partial_matches_created += counters.partial_matches_created
+            metrics.extension_attempts += counters.extension_attempts
+            plan_history.extend(engine.plan_history)
+        return RunResult(matches=matches, metrics=metrics, plan_history=plan_history)
+
+
+def _restrict_snapshot(
+    snapshot: Optional[StatisticsSnapshot], pattern: Pattern
+) -> Optional[StatisticsSnapshot]:
+    """Restrict an initial snapshot to the types a sub-pattern actually uses."""
+    if snapshot is None:
+        return None
+    wanted = {item.event_type.name for item in pattern.items}
+    if all(snapshot.has_rate(name) for name in wanted):
+        return snapshot.restrict(wanted)
+    return None

@@ -1,0 +1,202 @@
+"""Lazy NFA engine for order-based plans.
+
+The engine follows the lazy-evaluation principle of Kolchinsky et al.: the
+first event type in the plan order *initiates* partial matches, and every
+subsequent step is satisfied either from buffered history (events of later
+plan steps that happened to arrive earlier) or from future arrivals.
+
+Matching discipline
+-------------------
+For every incoming event ``e``:
+
+1. ``e`` is appended to the buffers of the positive variables it can serve
+   (local single-variable conditions permitting) and to the negated/Kleene
+   side buffers.
+2. Every stored partial match whose *next* plan step accepts ``e``'s type
+   is tentatively extended with ``e`` (temporal order, window and newly
+   bound conditions are checked).
+3. If ``e`` serves the plan's initiator variable, a fresh partial match is
+   opened with it.
+4. Every partial match created in steps 2–3 is then recursively extended
+   with *buffered* (earlier) events for its remaining steps, so matches
+   whose plan order disagrees with arrival order are still found.
+
+With this discipline every complete match is materialised exactly once —
+during the processing of its last-arriving event — and the number of live
+partial matches tracks the quantity the plan-generation cost model
+minimises.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.engine.base import EvaluationEngine
+from repro.engine.match import Match, PartialMatch
+from repro.engine.semantics import (
+    evaluate_new_conditions,
+    local_conditions_hold,
+    sequence_order_respected,
+    window_respected,
+)
+from repro.errors import EngineError
+from repro.events import Event
+from repro.patterns import Pattern
+from repro.plans import OrderBasedPlan
+from repro.statistics import StatisticsCollector
+
+
+class LazyNFAEngine(EvaluationEngine):
+    """Executes an :class:`OrderBasedPlan` over an event stream."""
+
+    def __init__(
+        self,
+        plan: OrderBasedPlan,
+        collector: Optional[StatisticsCollector] = None,
+        expiry_interval_fraction: float = 0.25,
+    ):
+        if not isinstance(plan, OrderBasedPlan):
+            raise EngineError("LazyNFAEngine requires an OrderBasedPlan")
+        super().__init__(plan.pattern, collector)
+        self.plan = plan
+        self._order = plan.order
+        self._depth = len(self._order)
+        # Buffered events per positive variable (local conditions already hold).
+        self._buffers: Dict[str, List[Event]] = {v: [] for v in self._order}
+        # Partial matches indexed by the variable they are waiting for next.
+        self._waiting: Dict[str, List[PartialMatch]] = {v: [] for v in self._order}
+        self._type_to_variables: Dict[str, List[str]] = {}
+        for variable in self._order:
+            type_name = plan.pattern.item_by_variable(variable).event_type.name
+            self._type_to_variables.setdefault(type_name, []).append(variable)
+        window = plan.pattern.window
+        self._expiry_interval = (
+            window * expiry_interval_fraction if window != float("inf") else float("inf")
+        )
+        self._last_expiry = float("-inf")
+
+    # ------------------------------------------------------------------
+    # EvaluationEngine interface
+    # ------------------------------------------------------------------
+    def partial_match_count(self) -> int:
+        return sum(len(pms) for pms in self._waiting.values())
+
+    def buffered_event_count(self) -> int:
+        """Number of events currently buffered across all positive variables."""
+        return sum(len(events) for events in self._buffers.values())
+
+    def expire(self, now: float) -> None:
+        window = self.pattern.window
+        if window == float("inf"):
+            return
+        cutoff = now - window
+        for variable, events in self._buffers.items():
+            self._buffers[variable] = [e for e in events if e.timestamp >= cutoff]
+        for variable, matches in self._waiting.items():
+            self._waiting[variable] = [
+                pm for pm in matches if pm.min_timestamp is None or pm.min_timestamp >= cutoff
+            ]
+        self._expire_special_buffers(now)
+        self._last_expiry = now
+
+    def process(self, event: Event) -> List[Match]:
+        now = event.timestamp
+        self.counters.events_processed += 1
+        if now - self._last_expiry >= self._expiry_interval:
+            self.expire(now)
+        self._buffer_special_items(event)
+
+        accepted_variables = self._accept_into_buffers(event)
+        if not accepted_variables:
+            return []
+
+        new_matches = self._extend_with_event(event, accepted_variables, now)
+        if self._order[0] in accepted_variables:
+            initiator = PartialMatch({self._order[0]: event})
+            self.counters.partial_matches_created += 1
+            new_matches.append(initiator)
+
+        completed = self._extend_from_buffers(new_matches, event, now)
+
+        matches: List[Match] = []
+        for partial in completed:
+            match = self._finalize(partial, now)
+            if match is not None:
+                matches.append(match)
+        return matches
+
+    # ------------------------------------------------------------------
+    # Matching steps
+    # ------------------------------------------------------------------
+    def _accept_into_buffers(self, event: Event) -> List[str]:
+        """Buffer the event under every positive variable it can serve."""
+        accepted: List[str] = []
+        for variable in self._type_to_variables.get(event.type_name, ()):
+            if local_conditions_hold(self.pattern, variable, event, self.collector):
+                self._buffers[variable].append(event)
+                accepted.append(variable)
+        return accepted
+
+    def _extend_with_event(
+        self, event: Event, accepted_variables: List[str], now: float
+    ) -> List[PartialMatch]:
+        """Extend stored partial matches whose next step accepts this event."""
+        extended: List[PartialMatch] = []
+        for variable in accepted_variables:
+            for partial in self._waiting[variable]:
+                candidate = self._try_extend(partial, variable, event, now)
+                if candidate is not None:
+                    extended.append(candidate)
+        return extended
+
+    def _extend_from_buffers(
+        self, new_matches: List[PartialMatch], current_event: Event, now: float
+    ) -> List[PartialMatch]:
+        """Recursively extend fresh partial matches with buffered history.
+
+        Every partial match created along the way is also registered as
+        "waiting" so that future events can extend it; complete bindings are
+        returned for finalisation.
+        """
+        completed: List[PartialMatch] = []
+        frontier = list(new_matches)
+        while frontier:
+            next_frontier: List[PartialMatch] = []
+            for partial in frontier:
+                if partial.size == self._depth:
+                    completed.append(partial)
+                    continue
+                next_variable = self._order[partial.size]
+                self._waiting[next_variable].append(partial)
+                for buffered in self._buffers[next_variable]:
+                    if buffered is current_event or partial.contains_event(buffered):
+                        continue
+                    candidate = self._try_extend(partial, next_variable, buffered, now)
+                    if candidate is not None:
+                        next_frontier.append(candidate)
+            frontier = next_frontier
+        return completed
+
+    def _try_extend(
+        self, partial: PartialMatch, variable: str, event: Event, now: float
+    ) -> Optional[PartialMatch]:
+        """Attempt to bind ``event`` as ``variable`` in ``partial``."""
+        self.counters.extension_attempts += 1
+        if partial.contains_event(event):
+            return None
+        if not window_respected(partial.bindings, event, self.pattern.window):
+            return None
+        if not sequence_order_respected(self.pattern, partial.bindings, variable, event):
+            return None
+        if not evaluate_new_conditions(
+            self.pattern, partial.bindings, variable, event, self.collector, now
+        ):
+            return None
+        self.counters.partial_matches_created += 1
+        return partial.extended(variable, event)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"LazyNFAEngine(order={'->'.join(self._order)}, "
+            f"partial_matches={self.partial_match_count()})"
+        )

@@ -1,0 +1,20 @@
+"""Event model substrate.
+
+Provides the primitive-event abstractions of a CEP system: event types,
+attribute schemas, timestamped events, and in-memory event streams.  All
+higher layers (patterns, plans, engines) are defined over these objects.
+"""
+
+from repro.events.event import Event
+from repro.events.event_type import AttributeSpec, EventType, EventSchema
+from repro.events.stream import EventStream, InMemoryEventStream, MergedEventStream
+
+__all__ = [
+    "Event",
+    "EventType",
+    "AttributeSpec",
+    "EventSchema",
+    "EventStream",
+    "InMemoryEventStream",
+    "MergedEventStream",
+]

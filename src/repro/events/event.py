@@ -1,0 +1,122 @@
+"""Primitive event objects.
+
+An :class:`Event` is an immutable record of a single observation: an event
+type, a timestamp, an ordered sequence number, and an attribute payload.
+Events are the atoms combined by evaluation plans into pattern matches.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Mapping, Optional
+
+from repro.errors import SchemaError
+from repro.events.event_type import EventType
+
+_event_counter = itertools.count()
+
+
+class Event:
+    """A single primitive event.
+
+    Parameters
+    ----------
+    event_type:
+        The :class:`EventType` of the event.
+    timestamp:
+        Occurrence time in arbitrary but monotone units (the engines and
+        pattern windows only ever compare and subtract timestamps).
+    payload:
+        Mapping of attribute names to values.
+    sequence_number:
+        Optional explicit total-order tiebreaker; if omitted a process-wide
+        counter is used, so events created later always compare greater when
+        timestamps tie.
+    validate:
+        When ``True`` the payload is validated against the event type's
+        schema (if any).
+    """
+
+    __slots__ = ("event_type", "timestamp", "payload", "sequence_number")
+
+    def __init__(
+        self,
+        event_type: EventType,
+        timestamp: float,
+        payload: Optional[Mapping[str, Any]] = None,
+        sequence_number: Optional[int] = None,
+        validate: bool = False,
+    ):
+        if not isinstance(event_type, EventType):
+            raise SchemaError(
+                f"event_type must be an EventType, got {type(event_type).__name__}"
+            )
+        self.event_type = event_type
+        self.timestamp = float(timestamp)
+        self.payload: Dict[str, Any] = dict(payload or {})
+        self.sequence_number = (
+            next(_event_counter) if sequence_number is None else int(sequence_number)
+        )
+        if validate:
+            event_type.validate_payload(self.payload)
+
+    @property
+    def type_name(self) -> str:
+        """Name of the event's type."""
+        return self.event_type.name
+
+    def get(self, attribute: str, default: Any = None) -> Any:
+        """Return an attribute value, or ``default`` if absent."""
+        return self.payload.get(attribute, default)
+
+    def __getitem__(self, attribute: str) -> Any:
+        try:
+            return self.payload[attribute]
+        except KeyError:
+            raise KeyError(
+                f"event of type {self.type_name!r} has no attribute {attribute!r}"
+            ) from None
+
+    def __contains__(self, attribute: str) -> bool:
+        return attribute in self.payload
+
+    def with_payload(self, **updates: Any) -> "Event":
+        """Return a copy of the event with some payload entries replaced."""
+        payload = dict(self.payload)
+        payload.update(updates)
+        return Event(
+            self.event_type,
+            self.timestamp,
+            payload,
+            sequence_number=self.sequence_number,
+        )
+
+    # Ordering is by (timestamp, sequence_number) so that streams can be
+    # merged deterministically even when timestamps collide.
+    def _order_key(self):
+        return (self.timestamp, self.sequence_number)
+
+    def __lt__(self, other: "Event") -> bool:
+        return self._order_key() < other._order_key()
+
+    def __le__(self, other: "Event") -> bool:
+        return self._order_key() <= other._order_key()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Event):
+            return NotImplemented
+        return (
+            self.event_type == other.event_type
+            and self.timestamp == other.timestamp
+            and self.sequence_number == other.sequence_number
+            and self.payload == other.payload
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.event_type, self.timestamp, self.sequence_number))
+
+    def __repr__(self) -> str:
+        return (
+            f"Event(type={self.type_name!r}, ts={self.timestamp:g}, "
+            f"seq={self.sequence_number}, payload={self.payload!r})"
+        )

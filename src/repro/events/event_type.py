@@ -1,0 +1,140 @@
+"""Event type and attribute schema definitions.
+
+An :class:`EventType` names a class of primitive events (e.g. readings from
+camera ``A`` in the paper's running example, or a particular stock symbol in
+the NASDAQ dataset).  Each event type optionally carries an
+:class:`EventSchema` describing the attributes its events are expected to
+expose; schemas are used for validation in strict mode and for documentation
+otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Specification of a single event attribute.
+
+    Parameters
+    ----------
+    name:
+        The attribute name used as the payload key.
+    dtype:
+        The expected Python type of the attribute value.  ``object`` accepts
+        any value.
+    required:
+        Whether an event of this type must carry the attribute.
+    description:
+        Free-form human-readable description.
+    """
+
+    name: str
+    dtype: type = object
+    required: bool = True
+    description: str = ""
+
+    def validate(self, value: Any) -> None:
+        """Raise :class:`SchemaError` if ``value`` does not satisfy the spec."""
+        if value is None:
+            if self.required:
+                raise SchemaError(f"attribute {self.name!r} is required but missing")
+            return
+        if self.dtype is not object and not isinstance(value, self.dtype):
+            # Allow ints where floats are declared; this mirrors numpy's
+            # promotion rules and keeps synthetic generators simple.
+            if self.dtype is float and isinstance(value, int):
+                return
+            raise SchemaError(
+                f"attribute {self.name!r} expected {self.dtype.__name__}, "
+                f"got {type(value).__name__}"
+            )
+
+
+class EventSchema:
+    """An ordered collection of :class:`AttributeSpec` objects."""
+
+    def __init__(self, attributes: Iterable[AttributeSpec] = ()):
+        self._attributes: Dict[str, AttributeSpec] = {}
+        for spec in attributes:
+            if spec.name in self._attributes:
+                raise SchemaError(f"duplicate attribute {spec.name!r} in schema")
+            self._attributes[spec.name] = spec
+
+    @property
+    def attribute_names(self) -> Tuple[str, ...]:
+        return tuple(self._attributes)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._attributes
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self):
+        return iter(self._attributes.values())
+
+    def get(self, name: str) -> Optional[AttributeSpec]:
+        return self._attributes.get(name)
+
+    def validate_payload(self, payload: Dict[str, Any]) -> None:
+        """Validate a full event payload against the schema.
+
+        Missing optional attributes are accepted; unknown attributes are
+        accepted as well (events may carry more data than the schema
+        declares), matching the permissive behaviour of SASE-style engines.
+        """
+        for spec in self._attributes.values():
+            value = payload.get(spec.name)
+            if value is None and spec.name not in payload and spec.required:
+                raise SchemaError(
+                    f"payload missing required attribute {spec.name!r}"
+                )
+            if spec.name in payload:
+                spec.validate(payload[spec.name])
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        names = ", ".join(self.attribute_names)
+        return f"EventSchema([{names}])"
+
+
+@dataclass(frozen=True)
+class EventType:
+    """A named class of primitive events.
+
+    Event types are the unit over which arrival rates are estimated and over
+    which evaluation plans are defined.  Two event types are equal iff their
+    names are equal, so they can be freely used as dictionary keys.
+
+    Parameters
+    ----------
+    name:
+        Unique name of the type (e.g. ``"A"``, ``"MSFT"``).
+    schema:
+        Optional attribute schema for events of this type.
+    description:
+        Free-form description for documentation purposes.
+    """
+
+    name: str
+    schema: Optional[EventSchema] = field(default=None, compare=False, hash=False)
+    description: str = field(default="", compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("event type name must be a non-empty string")
+
+    def validate_payload(self, payload: Dict[str, Any]) -> None:
+        """Validate an event payload if a schema is attached."""
+        if self.schema is not None:
+            self.schema.validate_payload(payload)
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return f"EventType({self.name!r})"

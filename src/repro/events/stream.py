@@ -1,0 +1,142 @@
+"""Event stream abstractions.
+
+Streams deliver primitive events to the engine in timestamp order.  Two
+concrete implementations are provided:
+
+* :class:`InMemoryEventStream` wraps a list of events (used by tests,
+  examples and the dataset simulators, which materialise their synthetic
+  streams).
+* :class:`MergedEventStream` lazily merges several already-sorted streams,
+  mirroring a CEP engine subscribing to multiple event sources.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import DatasetError
+from repro.events.event import Event
+from repro.events.event_type import EventType
+
+
+class EventStream:
+    """Base class for event streams.
+
+    A stream is an iterable of :class:`Event` objects in non-decreasing
+    timestamp order.  Subclasses must implement :meth:`__iter__`.
+    """
+
+    def __iter__(self) -> Iterator[Event]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __len__(self) -> int:  # pragma: no cover - optional
+        raise TypeError(f"{type(self).__name__} has no defined length")
+
+    def to_list(self) -> List[Event]:
+        """Materialise the stream as a list."""
+        return list(self)
+
+    def count_by_type(self) -> Dict[str, int]:
+        """Return the number of events per event-type name."""
+        counts: Dict[str, int] = {}
+        for event in self:
+            counts[event.type_name] = counts.get(event.type_name, 0) + 1
+        return counts
+
+
+class InMemoryEventStream(EventStream):
+    """A stream backed by an in-memory list of events.
+
+    Parameters
+    ----------
+    events:
+        The events to deliver.  If ``sort`` is true (default) they are
+        sorted by ``(timestamp, sequence_number)``; otherwise they must
+        already be sorted and a :class:`DatasetError` is raised when they
+        are not.
+    """
+
+    def __init__(self, events: Iterable[Event], sort: bool = True):
+        self._events: List[Event] = list(events)
+        if sort:
+            self._events.sort()
+        else:
+            for previous, current in zip(self._events, self._events[1:]):
+                if current < previous:
+                    raise DatasetError(
+                        "events are not sorted by timestamp; pass sort=True"
+                    )
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __getitem__(self, index: int) -> Event:
+        return self._events[index]
+
+    @property
+    def events(self) -> Sequence[Event]:
+        return tuple(self._events)
+
+    def time_span(self) -> float:
+        """Return ``last_timestamp - first_timestamp`` (0 for short streams)."""
+        if len(self._events) < 2:
+            return 0.0
+        return self._events[-1].timestamp - self._events[0].timestamp
+
+    def filter_types(self, types: Iterable[EventType]) -> "InMemoryEventStream":
+        """Return a sub-stream containing only events of the given types."""
+        wanted = {t.name for t in types}
+        return InMemoryEventStream(
+            [e for e in self._events if e.type_name in wanted], sort=False
+        )
+
+    def slice_time(self, start: float, end: float) -> "InMemoryEventStream":
+        """Return events with ``start <= timestamp < end``."""
+        return InMemoryEventStream(
+            [e for e in self._events if start <= e.timestamp < end], sort=False
+        )
+
+
+class MergedEventStream(EventStream):
+    """Merge several sorted streams into one globally ordered stream."""
+
+    def __init__(self, streams: Sequence[EventStream]):
+        if not streams:
+            raise DatasetError("MergedEventStream requires at least one stream")
+        self._streams = list(streams)
+
+    def __iter__(self) -> Iterator[Event]:
+        return heapq.merge(*self._streams)
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._streams)
+
+
+def stream_from_tuples(
+    rows: Iterable[tuple],
+    types: Dict[str, EventType],
+    attribute_names: Optional[Sequence[str]] = None,
+) -> InMemoryEventStream:
+    """Build a stream from ``(type_name, timestamp, *values)`` tuples.
+
+    Convenience helper for tests and examples: each row names an event type,
+    gives a timestamp and the remaining values are zipped against
+    ``attribute_names`` to form the payload.
+    """
+    events = []
+    for row in rows:
+        type_name, timestamp, *values = row
+        if type_name not in types:
+            raise DatasetError(f"unknown event type {type_name!r} in row {row!r}")
+        names = attribute_names or [f"v{i}" for i in range(len(values))]
+        if len(values) > len(names):
+            raise DatasetError(
+                f"row {row!r} has more values than attribute names {names!r}"
+            )
+        payload = dict(zip(names, values))
+        events.append(Event(types[type_name], timestamp, payload))
+    return InMemoryEventStream(events)

@@ -1,0 +1,48 @@
+"""Experiment drivers regenerating the paper's tables and figures.
+
+Each module corresponds to one experiment of Section 5 / Appendix A:
+
+* :mod:`repro.experiments.runner` — shared single-run machinery
+  (build engine, run stream, collect :class:`~repro.metrics.RunMetrics`).
+* :mod:`repro.experiments.distance_sweep` — Figure 5 (throughput vs the
+  invariant distance ``d`` and the pattern size).
+* :mod:`repro.experiments.distance_estimation` — Table 1 (quality of the
+  average-relative-difference estimate ``davg`` vs the scanned optimum
+  ``dopt``).
+* :mod:`repro.experiments.method_comparison` — Figures 6–9 and the
+  appendix Figures 10–29 (throughput, relative gain, reoptimization counts
+  and computational overhead of the four adaptation methods).
+* :mod:`repro.experiments.ablations` — K-invariant and invariant-selection
+  strategy ablations (Sections 3.3 and 3.5).
+"""
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import run_single, build_policy, build_planner, make_stream
+from repro.experiments.method_comparison import (
+    MethodComparisonResult,
+    compare_methods,
+    DEFAULT_METHODS,
+)
+from repro.experiments.distance_sweep import distance_sweep, find_optimal_distance
+from repro.experiments.distance_estimation import distance_estimation_table
+from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
+from repro.experiments.reporting import format_table, rows_to_csv
+
+__all__ = [
+    "ExperimentConfig",
+    "PolicySpec",
+    "run_single",
+    "build_policy",
+    "build_planner",
+    "make_stream",
+    "MethodComparisonResult",
+    "compare_methods",
+    "DEFAULT_METHODS",
+    "distance_sweep",
+    "find_optimal_distance",
+    "distance_estimation_table",
+    "k_invariant_ablation",
+    "selection_strategy_ablation",
+    "format_table",
+    "rows_to_csv",
+]

@@ -1,0 +1,197 @@
+"""Command-line entry point for the experiment drivers.
+
+Lets a user regenerate any of the paper's experiments without writing
+Python::
+
+    python -m repro.experiments.cli compare --dataset traffic --algorithm greedy
+    python -m repro.experiments.cli sweep   --dataset stocks  --algorithm zstream
+    python -m repro.experiments.cli table1
+    python -m repro.experiments.cli ablation-k --dataset traffic
+
+Each sub-command prints the same plain-text tables the benchmark suite
+reports and optionally writes them as CSV.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.distance_estimation import distance_estimation_table
+from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, find_optimal_distance
+from repro.experiments.method_comparison import DEFAULT_METHODS, RECOMMENDED_DISTANCE, compare_methods
+from repro.experiments.reporting import format_table, pivot, rows_to_csv
+
+
+def _add_common_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=("traffic", "stocks"), default="traffic")
+    parser.add_argument("--algorithm", choices=("greedy", "zstream"), default="greedy")
+    parser.add_argument("--duration", type=float, default=200.0, help="stream duration")
+    parser.add_argument("--max-events", type=int, default=12000, help="stream length cap")
+    parser.add_argument(
+        "--sizes", type=str, default="3,4,5,6", help="comma-separated pattern sizes"
+    )
+    parser.add_argument(
+        "--monitoring-interval", type=float, default=1.0, help="time between decisions"
+    )
+    parser.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
+
+
+def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
+    sizes = tuple(int(part) for part in args.sizes.split(",") if part)
+    return ExperimentConfig(
+        dataset=args.dataset,
+        algorithm=args.algorithm,
+        duration=args.duration,
+        max_events=args.max_events,
+        sizes=sizes,
+        monitoring_interval=args.monitoring_interval,
+    )
+
+
+def _maybe_write_csv(rows, path: Optional[str]) -> None:
+    if not path:
+        return
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(rows_to_csv(rows))
+    print(f"wrote {len(rows)} rows to {path}")
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    result = compare_methods(config, DEFAULT_METHODS(config.dataset, config.algorithm))
+    for description, column in (
+        ("throughput [events/s]", "throughput"),
+        ("relative gain over static", "relative_gain"),
+        ("plan reoptimizations", "reoptimizations"),
+        ("adaptation overhead fraction", "overhead"),
+    ):
+        print(
+            format_table(
+                pivot(result.rows, index="size", column="method", value=column),
+                title=f"{config.dataset}/{config.algorithm}: {description}",
+            )
+        )
+    _maybe_write_csv(result.rows, args.csv)
+    return 0
+
+
+def _run_sweep(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    distances = tuple(float(part) for part in args.distances.split(",") if part)
+    rows = distance_sweep(config, distances)
+    print(
+        format_table(
+            pivot(rows, index="size", column="distance", value="throughput"),
+            title=f"{config.dataset}/{config.algorithm}: throughput per invariant distance d",
+        )
+    )
+    dopt, throughput = find_optimal_distance(rows)
+    print(f"scanned dopt = {dopt:g} (mean throughput {throughput:,.0f} events/s)")
+    _maybe_write_csv(rows, args.csv)
+    return 0
+
+
+def _run_table1(args: argparse.Namespace) -> int:
+    rows = []
+    for dataset in ("traffic", "stocks"):
+        for algorithm in ("greedy", "zstream"):
+            config = ExperimentConfig(
+                dataset=dataset,
+                algorithm=algorithm,
+                duration=args.duration,
+                max_events=args.max_events,
+                sizes=(4, 5, 6, 7, 8),
+            )
+            dopt = RECOMMENDED_DISTANCE[(dataset, algorithm)]
+            rows.extend(distance_estimation_table(config, dopt=dopt))
+    print(
+        format_table(
+            rows,
+            ["dataset", "algorithm", "size", "davg", "dopt", "accuracy"],
+            title="Table 1 — quality of distance estimates",
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    return 0
+
+
+def _run_ablation_k(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    rows = k_invariant_ablation(config, k_values=(1, 2, 4, 0))
+    print(
+        format_table(
+            rows,
+            ["k", "num_invariants", "throughput", "reoptimizations", "overhead"],
+            title=f"K-invariant ablation — {config.dataset}/{config.algorithm}",
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    return 0
+
+
+def _run_ablation_strategy(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    rows = selection_strategy_ablation(config)
+    print(
+        format_table(
+            rows,
+            ["strategy", "throughput", "reoptimizations", "overhead"],
+            title=f"Selection-strategy ablation — {config.dataset}/{config.algorithm}",
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate the paper's experiments from the command line.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compare = subparsers.add_parser("compare", help="Figures 6-9 style method comparison")
+    _add_common_options(compare)
+    compare.set_defaults(handler=_run_compare)
+
+    sweep = subparsers.add_parser("sweep", help="Figure 5 style distance sweep")
+    _add_common_options(sweep)
+    sweep.add_argument(
+        "--distances",
+        type=str,
+        default=",".join(str(d) for d in DEFAULT_DISTANCES),
+        help="comma-separated candidate distances",
+    )
+    sweep.set_defaults(handler=_run_sweep)
+
+    table1 = subparsers.add_parser("table1", help="Table 1 distance-estimate quality")
+    table1.add_argument("--duration", type=float, default=200.0)
+    table1.add_argument("--max-events", type=int, default=12000)
+    table1.add_argument("--csv", type=str, default=None)
+    table1.set_defaults(handler=_run_table1)
+
+    ablation_k = subparsers.add_parser("ablation-k", help="K-invariant ablation")
+    _add_common_options(ablation_k)
+    ablation_k.set_defaults(handler=_run_ablation_k)
+
+    ablation_strategy = subparsers.add_parser(
+        "ablation-strategy", help="invariant selection strategy ablation"
+    )
+    _add_common_options(ablation_strategy)
+    ablation_strategy.set_defaults(handler=_run_ablation_strategy)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

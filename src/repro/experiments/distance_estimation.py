@@ -1,0 +1,65 @@
+"""Distance-estimation quality (Table 1 of the paper).
+
+The average-relative-difference heuristic computes ``davg`` from the
+deciding conditions recorded while generating the initial plan.  Table 1
+compares ``davg`` against the scanned optimum ``dopt`` via the symmetric
+accuracy ratio ``min(davg/dopt, dopt/davg)``.
+
+The reproduction computes ``davg`` exactly as Section 3.4 prescribes, and
+takes ``dopt`` either from a caller-supplied mapping (e.g. the output of
+:func:`repro.experiments.distance_sweep.find_optimal_distance`) or from the
+recommended values recorded in
+:mod:`repro.experiments.method_comparison`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.adaptive import average_relative_difference
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.method_comparison import RECOMMENDED_DISTANCE
+from repro.experiments.runner import build_dataset, build_planner, build_workload
+
+
+def distance_estimation_table(
+    config: ExperimentConfig,
+    dopt: Optional[float] = None,
+    family: str = "sequence",
+    sizes: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    """Rows of Table 1 for one dataset–algorithm combination.
+
+    Each row carries the pattern size, ``davg``, ``dopt`` and the accuracy
+    ratio ``min(davg/dopt, dopt/davg)``.
+    """
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    planner = build_planner(config.algorithm)
+    if dopt is None:
+        dopt = RECOMMENDED_DISTANCE.get((config.dataset, config.algorithm), 0.1)
+
+    rows: List[Dict[str, float]] = []
+    for size in sizes or config.sizes:
+        pattern = workload.pattern(family, size)
+        snapshot = dataset.initial_snapshot(pattern)
+        result = planner.generate(pattern, snapshot)
+        davg = average_relative_difference(result.condition_sets, snapshot)
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "algorithm": config.algorithm,
+                "size": size,
+                "davg": davg,
+                "dopt": dopt,
+                "accuracy": accuracy_ratio(davg, dopt),
+            }
+        )
+    return rows
+
+
+def accuracy_ratio(davg: float, dopt: float) -> float:
+    """The paper's symmetric accuracy measure ``min(davg/dopt, dopt/davg)``."""
+    if davg <= 0.0 or dopt <= 0.0:
+        return 0.0
+    return min(davg / dopt, dopt / davg)

@@ -1,0 +1,88 @@
+"""Plain-text and CSV rendering of experiment rows.
+
+The benchmark harness prints these tables so that each bench regenerates
+the same rows/series as the paper's figures and tables.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+def _format_value(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+    precision: int = 4,
+) -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = list(rows)
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    columns = list(columns) if columns else list(rows[0].keys())
+    rendered: List[List[str]] = [
+        [_format_value(row.get(column, ""), precision) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(column), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    output = io.StringIO()
+    if title:
+        output.write(title + "\n")
+    header = "  ".join(column.ljust(widths[i]) for i, column in enumerate(columns))
+    output.write(header + "\n")
+    output.write("  ".join("-" * width for width in widths) + "\n")
+    for line in rendered:
+        output.write("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)) + "\n")
+    return output.getvalue()
+
+
+def rows_to_csv(
+    rows: Sequence[Dict[str, object]], columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render rows as CSV text (for saving alongside benchmark output)."""
+    rows = list(rows)
+    if not rows:
+        return ""
+    columns = list(columns) if columns else list(rows[0].keys())
+    lines = [",".join(columns)]
+    for row in rows:
+        lines.append(",".join(str(row.get(column, "")) for column in columns))
+    return "\n".join(lines) + "\n"
+
+
+def pivot(
+    rows: Sequence[Dict[str, object]],
+    index: str,
+    column: str,
+    value: str,
+) -> List[Dict[str, object]]:
+    """Pivot long-format rows into one row per ``index`` value.
+
+    Used to print figures the way the paper draws them (pattern size on the
+    x-axis, one column per adaptation method / distance value).
+    """
+    table: Dict[object, Dict[str, object]] = {}
+    column_order: List[str] = []
+    for row in rows:
+        key = row[index]
+        entry = table.setdefault(key, {index: key})
+        column_name = str(row[column])
+        if column_name not in column_order:
+            column_order.append(column_name)
+        entry[column_name] = row[value]
+    ordered_keys = sorted(table)
+    return [table[key] for key in ordered_keys]

@@ -1,0 +1,5 @@
+"""Performance metrics collected by the experiment harness."""
+
+from repro.metrics.run_metrics import RunMetrics, ThroughputTimer, aggregate_metrics
+
+__all__ = ["RunMetrics", "ThroughputTimer", "aggregate_metrics"]

@@ -1,0 +1,68 @@
+"""Abstract plan-generator interface."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import OptimizerError
+from repro.patterns import Pattern
+from repro.optimizer.recorder import PlanGenerationResult
+from repro.statistics import StatisticsSnapshot
+
+
+class PlanGenerator:
+    """Base class for (instrumented) plan-generation algorithms.
+
+    A generator is deterministic: the same pattern and the same statistics
+    snapshot always yield the same plan.  This determinism is what makes the
+    invariant-based method sound (Theorem 1 in the paper relies on it).
+    """
+
+    #: Human-readable algorithm name used in results and reports.
+    name: str = "plan-generator"
+
+    def generate(
+        self, pattern: Pattern, snapshot: StatisticsSnapshot
+    ) -> PlanGenerationResult:
+        """Produce an evaluation plan and its deciding-condition sets."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Shared validation helpers
+    # ------------------------------------------------------------------
+    def _require_rates(self, pattern: Pattern, snapshot: StatisticsSnapshot) -> None:
+        """Ensure the snapshot has a rate for every positive item's type.
+
+        Missing rates default to zero elsewhere in the cost model, which
+        silently produces degenerate plans; failing fast here surfaces
+        mis-wired experiments immediately.
+        """
+        missing = [
+            item.event_type.name
+            for item in pattern.positive_items
+            if not snapshot.has_rate(item.event_type.name)
+        ]
+        if missing:
+            raise OptimizerError(
+                f"{self.name}: snapshot lacks arrival rates for types {sorted(set(missing))}"
+            )
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"
+
+
+def default_block_label_for_position(position: int, variable: str, type_name: str) -> str:
+    """Canonical label of an order-plan building block."""
+    return f"pos{position + 1}:{type_name}({variable})"
+
+
+def default_block_label_for_subset(variables) -> str:
+    """Canonical label of a tree-plan building block (an internal node)."""
+    return "subset:" + "+".join(sorted(variables))
+
+
+def initial_snapshot_or_error(snapshot: Optional[StatisticsSnapshot]) -> StatisticsSnapshot:
+    """Planner entry guard for a possibly missing snapshot."""
+    if snapshot is None:
+        raise OptimizerError("a statistics snapshot is required for plan generation")
+    return snapshot

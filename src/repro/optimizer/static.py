@@ -1,0 +1,73 @@
+"""Trivial (statistics-agnostic) planners.
+
+These planners follow the pattern's declared item order and never perform a
+block-building comparison; they are used as the initial plan before any
+statistics exist and as the non-adaptive "static plan" baseline in the
+experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.optimizer.base import (
+    PlanGenerator,
+    default_block_label_for_position,
+    default_block_label_for_subset,
+)
+from repro.optimizer.recorder import DecidingConditionSet, PlanGenerationResult
+from repro.patterns import Pattern
+from repro.plans import OrderBasedPlan, TreeBasedPlan
+from repro.statistics import StatisticsSnapshot
+
+
+def _empty_snapshot(snapshot: Optional[StatisticsSnapshot]) -> StatisticsSnapshot:
+    return snapshot if snapshot is not None else StatisticsSnapshot({})
+
+
+class TrivialOrderPlanner(PlanGenerator):
+    """Order-based plan following the pattern's declared order."""
+
+    name = "trivial-order"
+
+    def generate(
+        self, pattern: Pattern, snapshot: Optional[StatisticsSnapshot] = None
+    ) -> PlanGenerationResult:
+        snapshot = _empty_snapshot(snapshot)
+        plan = OrderBasedPlan.in_pattern_order(pattern)
+        condition_sets = [
+            DecidingConditionSet(
+                default_block_label_for_position(
+                    index, item.variable, item.event_type.name
+                )
+            )
+            for index, item in enumerate(pattern.positive_items)
+        ]
+        return PlanGenerationResult(
+            plan=plan,
+            condition_sets=condition_sets,
+            snapshot=snapshot,
+            generator_name=self.name,
+        )
+
+
+class TrivialTreePlanner(PlanGenerator):
+    """Left-deep tree plan following the pattern's declared order."""
+
+    name = "trivial-tree"
+
+    def generate(
+        self, pattern: Pattern, snapshot: Optional[StatisticsSnapshot] = None
+    ) -> PlanGenerationResult:
+        snapshot = _empty_snapshot(snapshot)
+        plan = TreeBasedPlan.left_deep(pattern)
+        condition_sets = [
+            DecidingConditionSet(default_block_label_for_subset(node.variables()))
+            for node in plan.internal_nodes_bottom_up()
+        ]
+        return PlanGenerationResult(
+            plan=plan,
+            condition_sets=condition_sets,
+            snapshot=snapshot,
+            generator_name=self.name,
+        )

@@ -1,0 +1,22 @@
+"""Pattern specification layer.
+
+Patterns describe which combinations of primitive events should be reported
+as complex events: an operator (sequence, conjunction, disjunction), the
+participating event types with optional negation / Kleene-closure modifiers,
+a Boolean condition over the events' attributes, and a time window.
+"""
+
+from repro.patterns.operators import PatternOperator
+from repro.patterns.pattern import Pattern, PatternItem, CompositePattern
+from repro.patterns.builder import PatternBuilder, seq, conjunction, disjunction
+
+__all__ = [
+    "PatternOperator",
+    "Pattern",
+    "PatternItem",
+    "CompositePattern",
+    "PatternBuilder",
+    "seq",
+    "conjunction",
+    "disjunction",
+]

@@ -1,0 +1,54 @@
+"""Abstract evaluation plan interface."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.patterns import Pattern
+from repro.statistics import StatisticsSnapshot
+
+
+class EvaluationPlan:
+    """Base class for evaluation plans.
+
+    A plan is always defined for a specific :class:`~repro.patterns.Pattern`
+    and covers exactly the pattern's *positive* items (negated items are
+    handled by the engines as post-processing, following the paper).
+    """
+
+    def __init__(self, pattern: Pattern):
+        self._pattern = pattern
+
+    @property
+    def pattern(self) -> Pattern:
+        return self._pattern
+
+    # ------------------------------------------------------------------
+    # Interface
+    # ------------------------------------------------------------------
+    def cost(self, snapshot: StatisticsSnapshot) -> float:
+        """Expected number of partial matches materialised per time window."""
+        raise NotImplementedError
+
+    def block_labels(self) -> Sequence[str]:
+        """Human-readable labels of the plan's building blocks, in plan order.
+
+        Order-based plans have one block per position; tree-based plans one
+        block per internal node (bottom-up).  The adaptation layer uses these
+        labels to align invariants with blocks in reports.
+        """
+        raise NotImplementedError
+
+    def variables_in_plan_order(self) -> Tuple[str, ...]:
+        """Positive item variables in the order the plan introduces them."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """One-line human-readable description of the plan."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError

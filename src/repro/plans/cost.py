@@ -1,0 +1,132 @@
+"""Cost model shared by the plan-generation algorithms.
+
+The cost of a plan approximates the number of partial matches it keeps in
+memory per unit time, computed from the arrival rates of the event types
+and the selectivities of the inter-event predicates (Sections 4.1 and 4.2
+of the paper):
+
+* For an order-based plan ``p1, ..., pn`` the cost is the sum over prefixes
+  of ``prod_j<=i rate(pj) * sel(pj, pj) * prod_{j,k<=i} sel(pj, pk)``.
+* For a tree-based plan the cost is the ZStream recursion
+  ``Cost(T) = Cost(L) + Cost(R) + Card(L, R)`` with
+  ``Card(T) = Card(L) * Card(R) * SEL(L, R)`` and leaf cardinality equal to
+  the leaf type's arrival rate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.patterns import Pattern
+from repro.statistics import StatisticsSnapshot
+
+
+def pair_selectivity_product(
+    snapshot: StatisticsSnapshot,
+    group_a: Iterable[str],
+    group_b: Iterable[str],
+    pattern: Pattern,
+) -> float:
+    """Product of selectivities between two groups of pattern variables.
+
+    Only pairs actually coupled by a pattern condition contribute (other
+    pairs have selectivity 1.0 by convention).
+    """
+    coupled = set(map(tuple, map(sorted, pattern.conditions.variable_pairs())))
+    product = 1.0
+    for a in group_a:
+        for b in group_b:
+            key = tuple(sorted((a, b)))
+            if key in coupled:
+                product *= snapshot.selectivity(a, b)
+    return product
+
+
+def _variable_rate(snapshot: StatisticsSnapshot, pattern: Pattern, variable: str) -> float:
+    """Arrival rate of the event type bound to ``variable``, times its local selectivity."""
+    item = pattern.item_by_variable(variable)
+    rate = snapshot.rate_or_default(item.event_type.name, 0.0)
+    return rate * snapshot.local_selectivity(variable)
+
+
+def order_step_cost(
+    snapshot: StatisticsSnapshot,
+    pattern: Pattern,
+    prefix: Sequence[str],
+    candidate: str,
+) -> float:
+    """Cost contribution of appending ``candidate`` after ``prefix``.
+
+    This is the greedy algorithm's selection expression
+    ``r_c * sel_{c,c} * prod_{k in prefix} sel_{k,c}`` — the factor by which
+    the number of partial matches grows when the candidate is placed next.
+    """
+    value = _variable_rate(snapshot, pattern, candidate)
+    for previous in prefix:
+        value *= snapshot.selectivity(previous, candidate)
+    return value
+
+
+def order_plan_cost(
+    snapshot: StatisticsSnapshot,
+    pattern: Pattern,
+    order: Sequence[str],
+) -> float:
+    """Total cost of an order-based plan: expected partial matches over all prefixes."""
+    total = 0.0
+    prefix_product = 1.0
+    for index, variable in enumerate(order):
+        prefix_product *= order_step_cost(snapshot, pattern, order[:index], variable)
+        total += prefix_product
+    return total
+
+
+def tree_node_cardinality(
+    snapshot: StatisticsSnapshot,
+    pattern: Pattern,
+    left_variables: Sequence[str],
+    right_variables: Sequence[str],
+    left_cardinality: float,
+    right_cardinality: float,
+) -> float:
+    """ZStream cardinality of an internal node given its children's cardinalities."""
+    selectivity = pair_selectivity_product(
+        snapshot, left_variables, right_variables, pattern
+    )
+    return left_cardinality * right_cardinality * selectivity
+
+
+def leaf_cardinality(
+    snapshot: StatisticsSnapshot, pattern: Pattern, variable: str
+) -> float:
+    """Cardinality of a leaf: the arrival rate of its type times local selectivity."""
+    return _variable_rate(snapshot, pattern, variable)
+
+
+def tree_plan_cost(snapshot: StatisticsSnapshot, pattern: Pattern, root) -> float:
+    """Total ZStream cost of a tree plan (recursion over the node structure).
+
+    ``root`` is a :class:`repro.plans.tree_plan.TreePlanNode`; the import is
+    deferred to avoid a circular dependency.
+    """
+    cost, _cardinality = _tree_cost_and_cardinality(snapshot, pattern, root)
+    return cost
+
+
+def _tree_cost_and_cardinality(snapshot, pattern, node):
+    from repro.plans.tree_plan import TreeLeaf
+
+    if isinstance(node, TreeLeaf):
+        cardinality = leaf_cardinality(snapshot, pattern, node.variable)
+        return cardinality, cardinality
+    left_cost, left_card = _tree_cost_and_cardinality(snapshot, pattern, node.left)
+    right_cost, right_card = _tree_cost_and_cardinality(snapshot, pattern, node.right)
+    cardinality = tree_node_cardinality(
+        snapshot,
+        pattern,
+        node.left.variables(),
+        node.right.variables(),
+        left_card,
+        right_card,
+    )
+    return left_cost + right_cost + cardinality, cardinality

@@ -1,0 +1,50 @@
+"""Statistics substrate.
+
+This package maintains the quantities the adaptation layer monitors: event
+arrival rates and inter-event predicate selectivities.  Estimates are
+maintained over sliding windows (following the histogram-based techniques
+the paper cites) by :class:`StatisticsCollector`; experiments can instead
+use a :class:`GroundTruthStatisticsProvider` backed by a dataset simulator's
+known generating process.
+"""
+
+from repro.statistics.snapshot import StatisticsSnapshot, pair_key
+from repro.statistics.sliding_window import (
+    BucketedSlidingCounter,
+    SlidingWindowRateEstimator,
+    SlidingSelectivityEstimator,
+)
+from repro.statistics.collector import StatisticsCollector
+from repro.statistics.provider import (
+    StatisticsProvider,
+    GroundTruthStatisticsProvider,
+    NoisyStatisticsProvider,
+    StaticStatisticsProvider,
+)
+from repro.statistics.timevarying import (
+    TimeVaryingValue,
+    ConstantValue,
+    StepValue,
+    OscillatingValue,
+    RandomWalkValue,
+    LinearDriftValue,
+)
+
+__all__ = [
+    "StatisticsSnapshot",
+    "pair_key",
+    "BucketedSlidingCounter",
+    "SlidingWindowRateEstimator",
+    "SlidingSelectivityEstimator",
+    "StatisticsCollector",
+    "StatisticsProvider",
+    "GroundTruthStatisticsProvider",
+    "NoisyStatisticsProvider",
+    "StaticStatisticsProvider",
+    "TimeVaryingValue",
+    "ConstantValue",
+    "StepValue",
+    "OscillatingValue",
+    "RandomWalkValue",
+    "LinearDriftValue",
+]

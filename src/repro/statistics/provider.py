@@ -1,0 +1,132 @@
+"""Statistics providers.
+
+A *provider* is anything that can produce a
+:class:`~repro.statistics.StatisticsSnapshot` for a given stream time.  The
+detection–adaptation loop polls its provider once per monitoring period and
+feeds the snapshot to the reoptimizing decision function.
+
+Three providers are included:
+
+* :class:`StaticStatisticsProvider` — returns a fixed snapshot (used for
+  non-adaptive baselines and tests).
+* :class:`GroundTruthStatisticsProvider` — queries time-varying value models
+  (typically the ones driving a dataset simulator), so the decision layer
+  sees the true generating statistics.  Experiments use this to isolate the
+  behaviour of decision policies from estimator noise.
+* :class:`NoisyStatisticsProvider` — wraps another provider and perturbs
+  its values with multiplicative noise, modelling estimation error.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import StatisticsError
+from repro.statistics.snapshot import PairKey, StatisticsSnapshot, pair_key
+from repro.statistics.timevarying import TimeVaryingValue
+
+
+class StatisticsProvider:
+    """Interface: produce a statistics snapshot for a stream time."""
+
+    def snapshot(self, now: float) -> StatisticsSnapshot:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class StaticStatisticsProvider(StatisticsProvider):
+    """Always returns the same snapshot (with the requested timestamp)."""
+
+    def __init__(self, snapshot: StatisticsSnapshot):
+        self._snapshot = snapshot
+
+    def snapshot(self, now: float) -> StatisticsSnapshot:
+        return StatisticsSnapshot(
+            self._snapshot.rates, self._snapshot.selectivities, timestamp=now
+        )
+
+
+class GroundTruthStatisticsProvider(StatisticsProvider):
+    """Snapshot built from ground-truth time-varying value models.
+
+    Parameters
+    ----------
+    rate_models:
+        Mapping from event-type name to a :class:`TimeVaryingValue` giving
+        the true arrival rate at any time.
+    selectivity_models:
+        Mapping from variable-pair key to the true selectivity model.
+    """
+
+    def __init__(
+        self,
+        rate_models: Mapping[str, TimeVaryingValue],
+        selectivity_models: Optional[Mapping[PairKey, TimeVaryingValue]] = None,
+    ):
+        if not rate_models:
+            raise StatisticsError("GroundTruthStatisticsProvider requires rate models")
+        self._rate_models = dict(rate_models)
+        self._selectivity_models: Dict[PairKey, TimeVaryingValue] = {
+            pair_key(*key): model
+            for key, model in (selectivity_models or {}).items()
+        }
+
+    def snapshot(self, now: float) -> StatisticsSnapshot:
+        rates = {
+            name: max(0.0, model.value_at(now))
+            for name, model in self._rate_models.items()
+        }
+        selectivities = {
+            key: min(1.0, max(0.0, model.value_at(now)))
+            for key, model in self._selectivity_models.items()
+        }
+        return StatisticsSnapshot(rates, selectivities, timestamp=now)
+
+
+class NoisyStatisticsProvider(StatisticsProvider):
+    """Wrap a provider, adding multiplicative estimation noise.
+
+    Each queried value ``v`` is returned as ``v * (1 + eps)`` with
+    ``eps ~ Normal(0, noise)``, clipped so rates stay non-negative and
+    selectivities stay in ``[0, 1]``.  The same stream time always yields
+    the same noise (the RNG is keyed by the integer time step), so repeated
+    queries within one monitoring period are consistent.
+    """
+
+    def __init__(
+        self,
+        inner: StatisticsProvider,
+        noise: float = 0.05,
+        seed: int = 0,
+    ):
+        if noise < 0:
+            raise StatisticsError("noise level must be >= 0")
+        self._inner = inner
+        self._noise = float(noise)
+        self._seed = int(seed)
+
+    def snapshot(self, now: float) -> StatisticsSnapshot:
+        base = self._inner.snapshot(now)
+        if self._noise == 0.0:
+            return base
+        rng = np.random.default_rng(self._seed ^ (int(now * 1000) & 0x7FFFFFFF))
+        rates = {
+            name: max(0.0, value * (1.0 + rng.normal(0.0, self._noise)))
+            for name, value in base.rates.items()
+        }
+        selectivities = {
+            key: min(1.0, max(0.0, value * (1.0 + rng.normal(0.0, self._noise))))
+            for key, value in base.selectivities.items()
+        }
+        return StatisticsSnapshot(rates, selectivities, timestamp=now)
+
+
+class CollectorBackedProvider(StatisticsProvider):
+    """Adapter exposing a :class:`StatisticsCollector` as a provider."""
+
+    def __init__(self, collector) -> None:
+        self._collector = collector
+
+    def snapshot(self, now: float) -> StatisticsSnapshot:
+        return self._collector.snapshot(now)

@@ -1,0 +1,195 @@
+"""Sliding-window estimators for rates and selectivities.
+
+The paper maintains stream statistics with the histogram-based sliding
+window techniques of Datar et al.  We implement the same functionality with
+a bucketed sliding counter: the window is split into a fixed number of time
+buckets, counts are accumulated into the newest bucket and whole buckets
+expire as time advances.  This gives O(1) amortised updates, O(buckets)
+queries, and bounded relative error (at most one bucket's worth of events),
+which is the property the adaptation layer relies on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.errors import StatisticsError
+
+
+class BucketedSlidingCounter:
+    """Count occurrences over a sliding time window using fixed buckets.
+
+    Parameters
+    ----------
+    window:
+        Window length in stream-time units.
+    num_buckets:
+        Number of buckets the window is divided into.  More buckets means
+        finer expiry granularity at slightly higher query cost.
+    """
+
+    __slots__ = ("window", "num_buckets", "_bucket_width", "_buckets", "_last_time")
+
+    def __init__(self, window: float, num_buckets: int = 32):
+        if window <= 0:
+            raise StatisticsError("sliding window length must be positive")
+        if num_buckets < 1:
+            raise StatisticsError("num_buckets must be >= 1")
+        self.window = float(window)
+        self.num_buckets = int(num_buckets)
+        self._bucket_width = self.window / self.num_buckets
+        # Each bucket is [start_time, count]; newest last.
+        self._buckets: Deque[Tuple[float, float]] = deque()
+        self._last_time: Optional[float] = None
+
+    def add(self, timestamp: float, amount: float = 1.0) -> None:
+        """Record ``amount`` occurrences at ``timestamp``.
+
+        Timestamps must be non-decreasing; out-of-order updates raise
+        :class:`StatisticsError` to surface bugs in callers early.
+        """
+        if self._last_time is not None and timestamp < self._last_time - 1e-9:
+            raise StatisticsError(
+                f"out-of-order update: {timestamp} < last seen {self._last_time}"
+            )
+        self._last_time = timestamp
+        bucket_start = self._bucket_start(timestamp)
+        if self._buckets and self._buckets[-1][0] == bucket_start:
+            start, count = self._buckets[-1]
+            self._buckets[-1] = (start, count + amount)
+        else:
+            self._buckets.append((bucket_start, amount))
+        self._expire(timestamp)
+
+    def advance(self, timestamp: float) -> None:
+        """Advance time without recording an occurrence (expires old buckets)."""
+        if self._last_time is None or timestamp > self._last_time:
+            self._last_time = timestamp
+        self._expire(timestamp)
+
+    def count(self, now: Optional[float] = None) -> float:
+        """Total count within the window ending at ``now`` (default: last seen)."""
+        reference = self._reference_time(now)
+        if reference is None:
+            return 0.0
+        cutoff = reference - self.window
+        return sum(count for start, count in self._buckets if start + self._bucket_width > cutoff)
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Occurrences per time unit over the (possibly partially filled) window."""
+        reference = self._reference_time(now)
+        if reference is None:
+            return 0.0
+        if not self._buckets:
+            return 0.0
+        oldest_start = self._buckets[0][0]
+        elapsed = max(reference - oldest_start, self._bucket_width)
+        effective = min(elapsed, self.window)
+        return self.count(now=reference) / effective
+
+    def _reference_time(self, now: Optional[float]) -> Optional[float]:
+        if now is not None:
+            return now
+        return self._last_time
+
+    def _bucket_start(self, timestamp: float) -> float:
+        return (timestamp // self._bucket_width) * self._bucket_width
+
+    def _expire(self, now: float) -> None:
+        cutoff = now - self.window
+        while self._buckets and self._buckets[0][0] + self._bucket_width <= cutoff:
+            self._buckets.popleft()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"BucketedSlidingCounter(window={self.window:g}, "
+            f"buckets={len(self._buckets)}/{self.num_buckets})"
+        )
+
+
+class SlidingWindowRateEstimator:
+    """Estimate the arrival rate of a single event type over a sliding window."""
+
+    def __init__(self, window: float, num_buckets: int = 32):
+        self._counter = BucketedSlidingCounter(window, num_buckets)
+
+    def observe(self, timestamp: float) -> None:
+        """Record the arrival of one event at ``timestamp``."""
+        self._counter.add(timestamp)
+
+    def advance(self, timestamp: float) -> None:
+        """Advance time so stale observations drop out of the window."""
+        self._counter.advance(timestamp)
+
+    def rate(self, now: Optional[float] = None) -> float:
+        """Current estimated arrival rate (events per time unit)."""
+        return self._counter.rate(now)
+
+    def count(self, now: Optional[float] = None) -> float:
+        """Number of events currently inside the window."""
+        return self._counter.count(now)
+
+
+class SlidingSelectivityEstimator:
+    """Estimate the success probability of a predicate over a sliding window.
+
+    The runtime engine reports every evaluation of the predicate (attempted
+    pairings of events) together with its outcome; the estimator keeps
+    windowed counts of attempts and successes.
+
+    Parameters
+    ----------
+    window:
+        Window length in stream-time units.
+    num_buckets:
+        Bucket count for the underlying sliding counters.
+    prior_selectivity:
+        Value returned before any evaluation has been observed, and blended
+        in with weight ``prior_weight`` afterwards to damp early noise.
+    prior_weight:
+        Pseudo-count weight of the prior.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        num_buckets: int = 32,
+        prior_selectivity: float = 0.5,
+        prior_weight: float = 4.0,
+    ):
+        if not 0.0 <= prior_selectivity <= 1.0:
+            raise StatisticsError("prior_selectivity must be in [0, 1]")
+        if prior_weight < 0:
+            raise StatisticsError("prior_weight must be >= 0")
+        self._attempts = BucketedSlidingCounter(window, num_buckets)
+        self._successes = BucketedSlidingCounter(window, num_buckets)
+        self._prior_selectivity = prior_selectivity
+        self._prior_weight = prior_weight
+
+    def observe(self, timestamp: float, success: bool) -> None:
+        """Record one predicate evaluation and its outcome."""
+        self._attempts.add(timestamp)
+        if success:
+            self._successes.add(timestamp)
+        else:
+            self._successes.advance(timestamp)
+
+    def advance(self, timestamp: float) -> None:
+        """Advance time so stale evaluations drop out of the window."""
+        self._attempts.advance(timestamp)
+        self._successes.advance(timestamp)
+
+    def selectivity(self, now: Optional[float] = None) -> float:
+        """Current estimated selectivity in ``[0, 1]``."""
+        attempts = self._attempts.count(now)
+        successes = self._successes.count(now)
+        numerator = successes + self._prior_selectivity * self._prior_weight
+        denominator = attempts + self._prior_weight
+        if denominator == 0:
+            return self._prior_selectivity
+        return min(1.0, max(0.0, numerator / denominator))
+
+    def attempts(self, now: Optional[float] = None) -> float:
+        """Number of evaluations currently inside the window."""
+        return self._attempts.count(now)

@@ -1,0 +1,12 @@
+"""Workload (pattern set) generation.
+
+The paper evaluates five pattern families per dataset, each at sizes 3–8:
+plain sequences, conjunctions, sequences with a negated event, sequences
+with a Kleene-closure event, and composite patterns (disjunctions of three
+shorter sequences).  :class:`WorkloadGenerator` reproduces these families
+on top of any dataset simulator.
+"""
+
+from repro.workloads.generator import WorkloadGenerator, PATTERN_FAMILIES
+
+__all__ = ["WorkloadGenerator", "PATTERN_FAMILIES"]

@@ -1,0 +1,87 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.conditions import AndCondition, EqualityCondition
+from repro.events import Event, EventType, InMemoryEventStream
+from repro.patterns import seq
+from repro.statistics import StatisticsSnapshot
+
+
+@pytest.fixture
+def camera_types():
+    """The three camera event types of the paper's Example 1."""
+    return EventType("A"), EventType("B"), EventType("C")
+
+
+@pytest.fixture
+def camera_pattern(camera_types):
+    """SEQ(A, B, C) with the person-id equi-join conditions and a 10-unit window."""
+    a, b, c = camera_types
+    condition = AndCondition(
+        [EqualityCondition("a", "b", "person_id"), EqualityCondition("b", "c", "person_id")]
+    )
+    return seq([a, b, c], condition=condition, window=10.0)
+
+
+@pytest.fixture
+def camera_snapshot():
+    """The arrival rates used throughout the paper's running example."""
+    return StatisticsSnapshot(
+        {"A": 100.0, "B": 15.0, "C": 10.0},
+        {("a", "b"): 0.3, ("b", "c"): 0.2},
+        timestamp=0.0,
+    )
+
+
+def make_camera_stream(count: int = 300, seed: int = 0, persons: int = 5):
+    """A small random stream over the camera types, biased towards A."""
+    a, b, c = EventType("A"), EventType("B"), EventType("C")
+    rng = random.Random(seed)
+    events = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.uniform(0.05, 0.2)
+        roll = rng.random()
+        event_type = a if roll < 0.6 else (b if roll < 0.85 else c)
+        events.append(Event(event_type, t, {"person_id": rng.randint(0, persons - 1)}))
+    return InMemoryEventStream(events)
+
+
+@pytest.fixture
+def camera_stream():
+    return make_camera_stream()
+
+
+def brute_force_sequence_matches(events, type_order, window, key="person_id"):
+    """Reference implementation: count SEQ matches with an equi-join on ``key``.
+
+    Events must occur in the given type order, strictly increasing in time,
+    within the window, and all sharing the same ``key`` value.
+    """
+    events = list(events)
+
+    def extend(prefix, next_index):
+        if next_index == len(type_order):
+            return 1
+        total = 0
+        last = prefix[-1] if prefix else None
+        for event in events:
+            if event.type_name != type_order[next_index]:
+                continue
+            if last is not None:
+                if not event.timestamp > last.timestamp:
+                    continue
+                if event.payload[key] != last.payload[key]:
+                    continue
+                first = prefix[0]
+                if event.timestamp - first.timestamp > window:
+                    continue
+            total += extend(prefix + [event], next_index + 1)
+        return total
+
+    return extend([], 0)

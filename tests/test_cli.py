@@ -1,0 +1,54 @@
+"""Tests for the experiments command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.dataset == "traffic"
+        assert args.algorithm == "greedy"
+
+    def test_sweep_distances_option(self):
+        args = build_parser().parse_args(["sweep", "--distances", "0,0.2"])
+        assert args.distances == "0,0.2"
+
+    def test_invalid_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "bogus"])
+
+
+class TestExecution:
+    COMMON = ["--duration", "25", "--max-events", "1200", "--sizes", "3", "--monitoring-interval", "2"]
+
+    def test_compare_runs(self, capsys, tmp_path):
+        csv_path = tmp_path / "rows.csv"
+        exit_code = main(["compare", *self.COMMON, "--csv", str(csv_path)])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "throughput" in output
+        assert csv_path.exists()
+        assert "method" in csv_path.read_text().splitlines()[0]
+
+    def test_sweep_runs(self, capsys):
+        exit_code = main(["sweep", *self.COMMON, "--distances", "0,0.2"])
+        assert exit_code == 0
+        assert "dopt" in capsys.readouterr().out
+
+    def test_ablation_k_runs(self, capsys):
+        exit_code = main(["ablation-k", *self.COMMON])
+        assert exit_code == 0
+        assert "num_invariants" in capsys.readouterr().out
+
+    def test_table1_runs(self, capsys):
+        exit_code = main(["table1", "--duration", "25", "--max-events", "1000"])
+        assert exit_code == 0
+        assert "davg" in capsys.readouterr().out

@@ -1,0 +1,273 @@
+"""Unit tests for the condition (predicate) framework."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import (
+    AndCondition,
+    AttributeComparisonCondition,
+    AttributeThresholdCondition,
+    ConditionSet,
+    EqualityCondition,
+    NotCondition,
+    OrCondition,
+    PredicateCondition,
+    TrueCondition,
+)
+from repro.errors import PatternError
+from repro.events import Event, EventType
+
+
+def make_event(type_name: str, timestamp: float = 0.0, **payload) -> Event:
+    return Event(EventType(type_name), timestamp, payload)
+
+
+class TestTrueCondition:
+    def test_always_true(self):
+        assert TrueCondition().evaluate({}) is True
+
+    def test_no_variables(self):
+        assert TrueCondition().variables == frozenset()
+
+    def test_flatten_is_empty(self):
+        assert TrueCondition().flatten() == ()
+
+
+class TestAttributeThresholdCondition:
+    def test_satisfied(self):
+        condition = AttributeThresholdCondition("a", "speed", "<", 60)
+        assert condition.evaluate({"a": make_event("A", speed=40)})
+
+    def test_violated(self):
+        condition = AttributeThresholdCondition("a", "speed", "<", 60)
+        assert not condition.evaluate({"a": make_event("A", speed=80)})
+
+    def test_unbound_variable_is_vacuously_true(self):
+        condition = AttributeThresholdCondition("a", "speed", "<", 60)
+        assert condition.evaluate({})
+
+    def test_missing_attribute_fails(self):
+        condition = AttributeThresholdCondition("a", "speed", "<", 60)
+        assert not condition.evaluate({"a": make_event("A", other=1)})
+
+    def test_kleene_binding_requires_all_elements(self):
+        condition = AttributeThresholdCondition("a", "speed", ">", 10)
+        fast = make_event("A", speed=20)
+        slow = make_event("A", speed=5)
+        assert condition.evaluate({"a": [fast, fast]})
+        assert not condition.evaluate({"a": [fast, slow]})
+
+    def test_all_operators(self):
+        event = make_event("A", x=5)
+        assert AttributeThresholdCondition("a", "x", "<=", 5).evaluate({"a": event})
+        assert AttributeThresholdCondition("a", "x", ">=", 5).evaluate({"a": event})
+        assert AttributeThresholdCondition("a", "x", "==", 5).evaluate({"a": event})
+        assert AttributeThresholdCondition("a", "x", "!=", 6).evaluate({"a": event})
+        assert AttributeThresholdCondition("a", "x", ">", 4).evaluate({"a": event})
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(PatternError):
+            AttributeThresholdCondition("a", "x", "<>", 5)
+
+    def test_variables(self):
+        assert AttributeThresholdCondition("a", "x", "<", 5).variables == frozenset({"a"})
+
+
+class TestAttributeComparisonCondition:
+    def test_cross_variable_comparison(self):
+        condition = AttributeComparisonCondition("a", "price", "<", "b", "price")
+        binding = {"a": make_event("A", price=10), "b": make_event("B", price=20)}
+        assert condition.evaluate(binding)
+        binding["b"] = make_event("B", price=5)
+        assert not condition.evaluate(binding)
+
+    def test_partial_binding_is_vacuously_true(self):
+        condition = AttributeComparisonCondition("a", "price", "<", "b", "price")
+        assert condition.evaluate({"a": make_event("A", price=10)})
+
+    def test_same_variable_rejected(self):
+        with pytest.raises(PatternError):
+            AttributeComparisonCondition("a", "x", "<", "a", "y")
+
+    def test_missing_attribute_fails(self):
+        condition = AttributeComparisonCondition("a", "price", "<", "b", "price")
+        binding = {"a": make_event("A"), "b": make_event("B", price=20)}
+        assert not condition.evaluate(binding)
+
+    def test_variables(self):
+        condition = AttributeComparisonCondition("a", "x", "<", "b", "y")
+        assert condition.variables == frozenset({"a", "b"})
+
+    def test_kleene_binding_all_pairs(self):
+        condition = AttributeComparisonCondition("a", "x", "<", "b", "x")
+        low = make_event("A", x=1)
+        high = make_event("B", x=10)
+        mid = make_event("B", x=2)
+        assert condition.evaluate({"a": low, "b": [high, mid]})
+        assert not condition.evaluate({"a": low, "b": [high, make_event("B", x=0)]})
+
+
+class TestEqualityCondition:
+    def test_equijoin(self):
+        condition = EqualityCondition("a", "b", "person_id")
+        binding = {"a": make_event("A", person_id=7), "b": make_event("B", person_id=7)}
+        assert condition.evaluate(binding)
+        binding["b"] = make_event("B", person_id=8)
+        assert not condition.evaluate(binding)
+
+
+class TestPredicateCondition:
+    def test_custom_predicate(self):
+        condition = PredicateCondition(
+            ["a", "b"], lambda a, b: a["x"] + b["x"] > 10, name="sum_gt_10"
+        )
+        assert condition.evaluate({"a": make_event("A", x=6), "b": make_event("B", x=5)})
+        assert not condition.evaluate({"a": make_event("A", x=1), "b": make_event("B", x=2)})
+
+    def test_arguments_passed_in_declared_order(self):
+        condition = PredicateCondition(["a", "b"], lambda a, b: a["x"] < b["x"])
+        binding = {"b": make_event("B", x=1), "a": make_event("A", x=0)}
+        assert condition.evaluate(binding)
+
+    def test_requires_variables(self):
+        with pytest.raises(PatternError):
+            PredicateCondition([], lambda: True)
+
+    def test_duplicate_variables_rejected(self):
+        with pytest.raises(PatternError):
+            PredicateCondition(["a", "a"], lambda x, y: True)
+
+    def test_partial_binding_vacuously_true(self):
+        condition = PredicateCondition(["a", "b"], lambda a, b: False)
+        assert condition.evaluate({"a": make_event("A")})
+
+
+class TestCombinators:
+    def test_and_condition(self):
+        condition = AttributeThresholdCondition("a", "x", ">", 0) & AttributeThresholdCondition(
+            "a", "x", "<", 10
+        )
+        assert isinstance(condition, AndCondition)
+        assert condition.evaluate({"a": make_event("A", x=5)})
+        assert not condition.evaluate({"a": make_event("A", x=15)})
+
+    def test_or_condition(self):
+        condition = AttributeThresholdCondition("a", "x", ">", 10) | AttributeThresholdCondition(
+            "a", "x", "<", 0
+        )
+        assert isinstance(condition, OrCondition)
+        assert condition.evaluate({"a": make_event("A", x=-5)})
+        assert not condition.evaluate({"a": make_event("A", x=5)})
+
+    def test_or_vacuous_when_partially_bound(self):
+        left = AttributeThresholdCondition("a", "x", ">", 10)
+        right = AttributeThresholdCondition("b", "x", ">", 10)
+        assert (left | right).evaluate({"a": make_event("A", x=0)})
+
+    def test_not_condition(self):
+        condition = ~AttributeThresholdCondition("a", "x", ">", 10)
+        assert isinstance(condition, NotCondition)
+        assert condition.evaluate({"a": make_event("A", x=5)})
+        assert not condition.evaluate({"a": make_event("A", x=15)})
+
+    def test_not_vacuous_when_unbound(self):
+        assert (~AttributeThresholdCondition("a", "x", ">", 10)).evaluate({})
+
+    def test_and_flatten_recursive(self):
+        c1 = AttributeThresholdCondition("a", "x", ">", 0)
+        c2 = AttributeThresholdCondition("b", "x", ">", 0)
+        c3 = AttributeThresholdCondition("c", "x", ">", 0)
+        nested = AndCondition([AndCondition([c1, c2]), c3])
+        assert set(nested.flatten()) == {c1, c2, c3}
+
+    def test_composite_variables_union(self):
+        c1 = AttributeThresholdCondition("a", "x", ">", 0)
+        c2 = AttributeThresholdCondition("b", "x", ">", 0)
+        assert (c1 & c2).variables == frozenset({"a", "b"})
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(PatternError):
+            AndCondition([])
+
+    def test_non_condition_operand_rejected(self):
+        with pytest.raises(PatternError):
+            AndCondition([AttributeThresholdCondition("a", "x", ">", 0), "not a condition"])
+
+
+class TestConditionSet:
+    def _set(self):
+        return ConditionSet(
+            AndCondition(
+                [
+                    EqualityCondition("a", "b", "pid"),
+                    EqualityCondition("b", "c", "pid"),
+                    AttributeThresholdCondition("a", "speed", "<", 60),
+                ]
+            )
+        )
+
+    def test_flattens_conjunction(self):
+        assert len(self._set()) == 3
+
+    def test_true_condition_is_dropped(self):
+        condition_set = ConditionSet(TrueCondition())
+        assert len(condition_set) == 0
+
+    def test_variables(self):
+        assert self._set().variables() == frozenset({"a", "b", "c"})
+
+    def test_conditions_over_subset(self):
+        over_ab = self._set().conditions_over(["a", "b"])
+        assert len(over_ab) == 2  # the a-b join and the local a condition
+
+    def test_conditions_between_groups(self):
+        between = self._set().conditions_between(["a"], ["b"])
+        assert len(between) == 1
+
+    def test_conditions_between_ignores_conditions_outside_groups(self):
+        between = self._set().conditions_between(["a"], ["c"])
+        assert between == []
+
+    def test_newly_applicable(self):
+        new = self._set().newly_applicable(["a"], "b")
+        assert len(new) == 1
+        new_with_c = self._set().newly_applicable(["a", "b"], "c")
+        assert len(new_with_c) == 1
+
+    def test_newly_applicable_includes_local_conditions(self):
+        new = self._set().newly_applicable([], "a")
+        assert len(new) == 1  # the local speed condition on a
+
+    def test_variable_pairs(self):
+        assert self._set().variable_pairs() == [("a", "b"), ("b", "c")]
+
+    def test_single_variable_conditions(self):
+        assert len(self._set().single_variable_conditions("a")) == 1
+        assert self._set().single_variable_conditions("b") == []
+
+    def test_evaluate_full_binding(self):
+        binding = {
+            "a": make_event("A", pid=1, speed=30),
+            "b": make_event("B", pid=1),
+            "c": make_event("C", pid=1),
+        }
+        assert self._set().evaluate(binding)
+        binding["c"] = make_event("C", pid=2)
+        assert not self._set().evaluate(binding)
+
+    def test_as_condition_round_trip(self):
+        condition = self._set().as_condition()
+        binding = {
+            "a": make_event("A", pid=1, speed=30),
+            "b": make_event("B", pid=1),
+            "c": make_event("C", pid=1),
+        }
+        assert condition.evaluate(binding)
+
+    def test_as_condition_empty_is_true(self):
+        assert isinstance(ConditionSet().as_condition(), TrueCondition)
+
+    def test_from_conditions(self):
+        conditions = [EqualityCondition("a", "b", "pid"), EqualityCondition("b", "c", "pid")]
+        assert len(ConditionSet.from_conditions(conditions)) == 2

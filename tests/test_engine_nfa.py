@@ -1,0 +1,262 @@
+"""Tests for the lazy NFA engine (order-based plans)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import AndCondition, AttributeThresholdCondition, EqualityCondition
+from repro.engine import LazyNFAEngine
+from repro.errors import EngineError
+from repro.events import Event, EventType
+from repro.patterns import Pattern, PatternItem, PatternOperator, conjunction, seq
+from repro.plans import OrderBasedPlan, TreeBasedPlan
+from repro.statistics import StatisticsCollector
+
+from tests.conftest import brute_force_sequence_matches, make_camera_stream
+
+A, B, C = EventType("A"), EventType("B"), EventType("C")
+
+
+def camera_pattern(window=10.0):
+    condition = AndCondition(
+        [EqualityCondition("a", "b", "person_id"), EqualityCondition("b", "c", "person_id")]
+    )
+    return seq([A, B, C], condition=condition, window=window)
+
+
+def run_engine(engine, events):
+    matches = []
+    for event in events:
+        matches.extend(engine.process(event))
+    return matches
+
+
+def ev(event_type, t, **payload):
+    return Event(event_type, t, payload)
+
+
+class TestBasicMatching:
+    def test_simple_sequence_match(self):
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(camera_pattern()))
+        events = [ev(A, 1, person_id=1), ev(B, 2, person_id=1), ev(C, 3, person_id=1)]
+        matches = run_engine(engine, events)
+        assert len(matches) == 1
+        assert matches[0]["a"].timestamp == 1
+
+    def test_condition_filters_matches(self):
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(camera_pattern()))
+        events = [ev(A, 1, person_id=1), ev(B, 2, person_id=2), ev(C, 3, person_id=1)]
+        assert run_engine(engine, events) == []
+
+    def test_temporal_order_enforced(self):
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(camera_pattern()))
+        events = [ev(B, 1, person_id=1), ev(A, 2, person_id=1), ev(C, 3, person_id=1)]
+        assert run_engine(engine, events) == []
+
+    def test_window_enforced(self):
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(camera_pattern(window=5)))
+        events = [ev(A, 1, person_id=1), ev(B, 2, person_id=1), ev(C, 20, person_id=1)]
+        assert run_engine(engine, events) == []
+
+    def test_reordered_plan_finds_same_matches(self):
+        pattern = camera_pattern()
+        events = [ev(A, 1, person_id=1), ev(B, 2, person_id=1), ev(C, 3, person_id=1)]
+        for order in [("a", "b", "c"), ("c", "b", "a"), ("b", "a", "c")]:
+            engine = LazyNFAEngine(OrderBasedPlan(pattern, order))
+            assert len(run_engine(engine, list(events))) == 1, order
+
+    def test_multiple_matches_per_event(self):
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(camera_pattern()))
+        events = [
+            ev(A, 1, person_id=1),
+            ev(A, 2, person_id=1),
+            ev(B, 3, person_id=1),
+            ev(C, 4, person_id=1),
+        ]
+        assert len(run_engine(engine, events)) == 2
+
+    def test_conjunction_ignores_temporal_order(self):
+        pattern = conjunction(
+            [A, B, C],
+            condition=AndCondition(
+                [EqualityCondition("a", "b", "person_id"), EqualityCondition("b", "c", "person_id")]
+            ),
+            window=10,
+        )
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+        events = [ev(C, 1, person_id=1), ev(A, 2, person_id=1), ev(B, 3, person_id=1)]
+        assert len(run_engine(engine, events)) == 1
+
+    def test_local_condition_filters_events(self):
+        pattern = seq(
+            [A, B],
+            condition=AttributeThresholdCondition("a", "speed", "<", 50),
+            window=10,
+        )
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+        events = [ev(A, 1, speed=80), ev(B, 2), ev(A, 3, speed=30), ev(B, 4)]
+        assert len(run_engine(engine, events)) == 1
+
+    def test_requires_order_plan(self):
+        with pytest.raises(EngineError):
+            LazyNFAEngine(TreeBasedPlan.left_deep(camera_pattern()))
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("order", [("a", "b", "c"), ("c", "b", "a"), ("b", "c", "a")])
+    def test_random_stream_matches_brute_force(self, order):
+        pattern = camera_pattern()
+        stream = make_camera_stream(count=250, seed=3)
+        expected = brute_force_sequence_matches(
+            stream, ["A", "B", "C"], window=10.0, key="person_id"
+        )
+        engine = LazyNFAEngine(OrderBasedPlan(pattern, order))
+        assert len(run_engine(engine, stream)) == expected
+
+    def test_small_window_matches_brute_force(self):
+        pattern = camera_pattern(window=1.0)
+        stream = make_camera_stream(count=250, seed=5)
+        expected = brute_force_sequence_matches(
+            stream, ["A", "B", "C"], window=1.0, key="person_id"
+        )
+        engine = LazyNFAEngine(OrderBasedPlan(pattern, ("c", "b", "a")))
+        assert len(run_engine(engine, stream)) == expected
+
+
+class TestPartialMatchAccounting:
+    def test_rare_initiator_creates_fewer_partial_matches(self):
+        pattern = camera_pattern()
+        stream = make_camera_stream(count=400, seed=7)  # A is the frequent type
+        ascending = LazyNFAEngine(OrderBasedPlan(pattern, ("c", "b", "a")))
+        descending = LazyNFAEngine(OrderBasedPlan(pattern, ("a", "b", "c")))
+        run_engine(ascending, stream)
+        run_engine(descending, stream)
+        assert (
+            ascending.counters.partial_matches_created
+            < descending.counters.partial_matches_created
+        )
+
+    def test_expiry_prunes_buffers_and_matches(self):
+        pattern = camera_pattern(window=2.0)
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+        engine.process(ev(A, 1, person_id=1))
+        assert engine.partial_match_count() == 1
+        engine.process(ev(A, 100, person_id=1))
+        engine.expire(100.0)
+        assert engine.partial_match_count() == 1  # only the fresh one
+        assert engine.buffered_event_count() == 1
+
+    def test_counters_track_events(self):
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(camera_pattern()))
+        run_engine(engine, make_camera_stream(count=50))
+        assert engine.counters.events_processed == 50
+        assert engine.counters.extension_attempts > 0
+
+    def test_collector_receives_condition_feedback(self):
+        collector = StatisticsCollector(window=50.0)
+        pattern = camera_pattern()
+        collector.register_pattern(pattern)
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern), collector)
+        run_engine(engine, make_camera_stream(count=200, seed=1))
+        snapshot = collector.snapshot()
+        # The equi-join on 5 person ids succeeds ~20% of the time.
+        assert 0.05 < snapshot.selectivity("a", "b") < 0.5
+
+
+class TestNegation:
+    def negation_pattern(self):
+        """SEQ(A, ~B, C): no B with the same person id between A and C."""
+        items = [
+            PatternItem("a", A),
+            PatternItem("n", B, negated=True),
+            PatternItem("c", C),
+        ]
+        condition = AndCondition(
+            [EqualityCondition("a", "c", "person_id"), EqualityCondition("a", "n", "person_id")]
+        )
+        return Pattern(PatternOperator.SEQUENCE, items, condition=condition, window=10)
+
+    def _engine(self):
+        pattern = self.negation_pattern()
+        return LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+
+    def test_match_when_no_negated_event(self):
+        engine = self._engine()
+        events = [ev(A, 1, person_id=1), ev(C, 3, person_id=1)]
+        assert len(run_engine(engine, events)) == 1
+
+    def test_suppressed_when_negated_event_between(self):
+        engine = self._engine()
+        events = [ev(A, 1, person_id=1), ev(B, 2, person_id=1), ev(C, 3, person_id=1)]
+        assert run_engine(engine, events) == []
+        assert engine.counters.matches_suppressed_by_negation == 1
+
+    def test_not_suppressed_by_unrelated_negated_event(self):
+        engine = self._engine()
+        events = [ev(A, 1, person_id=1), ev(B, 2, person_id=99), ev(C, 3, person_id=1)]
+        assert len(run_engine(engine, events)) == 1
+
+    def test_not_suppressed_when_negated_event_outside_positions(self):
+        engine = self._engine()
+        events = [ev(B, 0.5, person_id=1), ev(A, 1, person_id=1), ev(C, 3, person_id=1)]
+        assert len(run_engine(engine, events)) == 1
+
+
+class TestKleene:
+    def kleene_pattern(self):
+        """SEQ(A, B*, C): one or more B events between A and C."""
+        items = [
+            PatternItem("a", A),
+            PatternItem("k", B, kleene=True),
+            PatternItem("c", C),
+        ]
+        condition = AndCondition(
+            [EqualityCondition("a", "k", "person_id"), EqualityCondition("a", "c", "person_id")]
+        )
+        return Pattern(PatternOperator.SEQUENCE, items, condition=condition, window=10)
+
+    def test_kleene_collects_all_matching_events(self):
+        pattern = self.kleene_pattern()
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+        events = [
+            ev(A, 1, person_id=1),
+            ev(B, 2, person_id=1),
+            ev(B, 3, person_id=1),
+            ev(C, 4, person_id=1),
+        ]
+        matches = run_engine(engine, events)
+        assert len(matches) == 1
+        assert len(matches[0]["k"]) == 2
+
+    def test_kleene_requires_at_least_one_event(self):
+        pattern = self.kleene_pattern()
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+        events = [ev(A, 1, person_id=1), ev(C, 4, person_id=1)]
+        assert run_engine(engine, events) == []
+
+    def test_kleene_respects_person_condition(self):
+        pattern = self.kleene_pattern()
+        engine = LazyNFAEngine(OrderBasedPlan.in_pattern_order(pattern))
+        events = [
+            ev(A, 1, person_id=1),
+            ev(B, 2, person_id=1),
+            ev(B, 3, person_id=2),  # other person: excluded from the closure
+            ev(C, 4, person_id=1),
+        ]
+        matches = run_engine(engine, events)
+        assert len(matches) == 1
+        assert len(matches[0]["k"]) == 1
+
+    def test_kleene_events_sorted_by_time(self):
+        pattern = self.kleene_pattern()
+        engine = LazyNFAEngine(OrderBasedPlan(pattern, ("c", "k", "a")))
+        events = [
+            ev(A, 1, person_id=1),
+            ev(B, 3, person_id=1),
+            ev(B, 2, person_id=1),
+            ev(C, 4, person_id=1),
+        ]
+        matches = run_engine(engine, events)
+        assert len(matches) == 1
+        timestamps = [event.timestamp for event in matches[0]["k"]]
+        assert timestamps == sorted(timestamps)

@@ -1,0 +1,136 @@
+"""Unit tests for the shared matching-semantics helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.conditions import AndCondition, AttributeThresholdCondition, EqualityCondition
+from repro.engine.semantics import (
+    evaluate_join_conditions,
+    evaluate_new_conditions,
+    groups_order_respected,
+    local_conditions_hold,
+    sequence_order_respected,
+    window_respected,
+)
+from repro.events import Event, EventType
+from repro.patterns import conjunction, seq
+from repro.statistics import StatisticsCollector
+
+A, B, C = EventType("A"), EventType("B"), EventType("C")
+
+
+def camera_pattern(window=10.0):
+    condition = AndCondition(
+        [
+            EqualityCondition("a", "b", "pid"),
+            EqualityCondition("b", "c", "pid"),
+            AttributeThresholdCondition("a", "speed", "<", 100),
+        ]
+    )
+    return seq([A, B, C], condition=condition, window=window)
+
+
+def ev(event_type, t, **payload):
+    return Event(event_type, t, payload)
+
+
+class TestSequenceOrder:
+    def test_respects_declared_order(self):
+        pattern = camera_pattern()
+        bindings = {"a": ev(A, 1, pid=1)}
+        assert sequence_order_respected(pattern, bindings, "b", ev(B, 2, pid=1))
+        assert not sequence_order_respected(pattern, bindings, "b", ev(B, 0.5, pid=1))
+
+    def test_later_variable_must_be_later(self):
+        pattern = camera_pattern()
+        bindings = {"c": ev(C, 5, pid=1)}
+        assert sequence_order_respected(pattern, bindings, "a", ev(A, 1, pid=1))
+        assert not sequence_order_respected(pattern, bindings, "a", ev(A, 9, pid=1))
+
+    def test_conjunction_has_no_order(self):
+        pattern = conjunction([A, B], window=10)
+        bindings = {"a": ev(A, 5)}
+        assert sequence_order_respected(pattern, bindings, "b", ev(B, 1))
+
+    def test_kleene_list_bindings_checked_elementwise(self):
+        pattern = camera_pattern()
+        bindings = {"b": [ev(B, 3, pid=1), ev(B, 4, pid=1)]}
+        assert sequence_order_respected(pattern, bindings, "a", ev(A, 1, pid=1))
+        assert not sequence_order_respected(pattern, bindings, "a", ev(A, 3.5, pid=1))
+
+
+class TestGroupOrder:
+    def test_groups_in_order(self):
+        pattern = camera_pattern()
+        left = {"a": ev(A, 1, pid=1), "b": ev(B, 2, pid=1)}
+        right = {"c": ev(C, 3, pid=1)}
+        assert groups_order_respected(pattern, left, right)
+
+    def test_groups_out_of_order(self):
+        pattern = camera_pattern()
+        left = {"a": ev(A, 5, pid=1)}
+        right = {"b": ev(B, 2, pid=1)}
+        assert not groups_order_respected(pattern, left, right)
+
+    def test_conjunction_groups_any_order(self):
+        pattern = conjunction([A, B], window=10)
+        assert groups_order_respected(pattern, {"a": ev(A, 9)}, {"b": ev(B, 1)})
+
+
+class TestWindow:
+    def test_within_window(self):
+        assert window_respected({"a": ev(A, 1)}, ev(B, 5), window=10)
+
+    def test_outside_window(self):
+        assert not window_respected({"a": ev(A, 1)}, ev(B, 50), window=10)
+
+    def test_infinite_window(self):
+        assert window_respected({"a": ev(A, 1)}, ev(B, 1e9), window=float("inf"))
+
+    def test_kleene_bindings_included(self):
+        bindings = {"k": [ev(B, 1), ev(B, 2)]}
+        assert not window_respected(bindings, ev(C, 20), window=10)
+
+
+class TestConditionEvaluation:
+    def test_newly_applicable_conditions_checked(self):
+        pattern = camera_pattern()
+        bindings = {"a": ev(A, 1, pid=1, speed=10)}
+        assert evaluate_new_conditions(pattern, bindings, "b", ev(B, 2, pid=1))
+        assert not evaluate_new_conditions(pattern, bindings, "b", ev(B, 2, pid=2))
+
+    def test_local_conditions(self):
+        pattern = camera_pattern()
+        assert local_conditions_hold(pattern, "a", ev(A, 1, pid=1, speed=10))
+        assert not local_conditions_hold(pattern, "a", ev(A, 1, pid=1, speed=200))
+        # b has no local conditions.
+        assert local_conditions_hold(pattern, "b", ev(B, 1, pid=1))
+
+    def test_join_conditions(self):
+        pattern = camera_pattern()
+        left = {"a": ev(A, 1, pid=1, speed=10), "b": ev(B, 2, pid=1)}
+        right = {"c": ev(C, 3, pid=1)}
+        assert evaluate_join_conditions(pattern, left, right)
+        right_bad = {"c": ev(C, 3, pid=9)}
+        assert not evaluate_join_conditions(pattern, left, right_bad)
+
+    def test_condition_outcomes_reported_to_collector(self):
+        pattern = camera_pattern()
+        collector = StatisticsCollector(window=100.0)
+        collector.register_pattern(pattern)
+        bindings = {"a": ev(A, 1, pid=1, speed=10)}
+        evaluate_new_conditions(pattern, bindings, "b", ev(B, 2, pid=1), collector)
+        evaluate_new_conditions(pattern, bindings, "b", ev(B, 3, pid=2), collector)
+        evaluate_new_conditions(pattern, bindings, "b", ev(B, 4, pid=3), collector)
+        selectivity = collector.snapshot().selectivity("a", "b")
+        # One success out of three attempts, blended with the prior.
+        assert selectivity < 0.5
+
+    def test_local_condition_feedback_uses_self_pair(self):
+        pattern = camera_pattern()
+        collector = StatisticsCollector(window=100.0)
+        collector.register_pattern(pattern)
+        for index in range(10):
+            local_conditions_hold(pattern, "a", ev(A, index, pid=1, speed=200), collector)
+        assert collector.snapshot().local_selectivity("a") < 0.4

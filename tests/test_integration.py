@@ -1,0 +1,157 @@
+"""End-to-end integration tests across the whole stack."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import (
+    AverageRelativeDifferenceDistance,
+    InvariantBasedPolicy,
+    StaticPolicy,
+    UnconditionalPolicy,
+)
+from repro.datasets import StockDatasetSimulator, TrafficDatasetSimulator
+from repro.engine import AdaptiveCEPEngine, MultiPatternEngine
+from repro.events import InMemoryEventStream
+from repro.optimizer import GreedyOrderPlanner, ZStreamTreePlanner
+from repro.workloads import WorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return TrafficDatasetSimulator(num_types=10, base_rate=6.0, duration_hint=80, seed=2)
+
+
+@pytest.fixture(scope="module")
+def traffic_stream(traffic):
+    return traffic.generate(duration=80, seed=4, max_events=6000)
+
+
+class TestAdaptiveRunsOnSyntheticTraffic:
+    def test_all_policies_detect_the_same_matches(self, traffic, traffic_stream):
+        pattern = WorkloadGenerator(traffic, seed=3).sequence_pattern(4)
+        counts = {}
+        for label, policy in [
+            ("invariant", InvariantBasedPolicy(distance=0.1)),
+            ("static", StaticPolicy()),
+            ("unconditional", UnconditionalPolicy()),
+        ]:
+            engine = AdaptiveCEPEngine(
+                pattern, GreedyOrderPlanner(), policy, monitoring_interval=2.0
+            )
+            counts[label] = engine.run(InMemoryEventStream(list(traffic_stream))).match_count
+        assert len(set(counts.values())) == 1, counts
+
+    def test_greedy_and_zstream_detect_the_same_matches(self, traffic, traffic_stream):
+        pattern = WorkloadGenerator(traffic, seed=3).sequence_pattern(4)
+        greedy = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(distance=0.1),
+            monitoring_interval=2.0,
+        ).run(InMemoryEventStream(list(traffic_stream)))
+        zstream = AdaptiveCEPEngine(
+            pattern, ZStreamTreePlanner(), InvariantBasedPolicy(distance=0.1, k=3),
+            monitoring_interval=2.0,
+        ).run(InMemoryEventStream(list(traffic_stream)))
+        assert greedy.match_count == zstream.match_count
+
+    def test_adaptation_reduces_partial_match_work_for_bad_declared_order(
+        self, traffic, traffic_stream
+    ):
+        """With the pattern declared in descending-rate order (the worst static
+        plan), the adaptive engine quickly reorders and ends up doing less
+        partial-match work than the static pattern-order plan."""
+        from repro.patterns import Pattern, PatternItem, PatternOperator
+        from repro.conditions import ConditionSet
+
+        # Pick the four most frequent types, declared most-frequent-first.
+        names = sorted(
+            traffic.type_names(), key=lambda n: -traffic.true_rate(n, 0.0)
+        )[:4]
+        variables = ["a", "b", "c", "d"]
+        items = [
+            PatternItem(v, traffic.event_type(n)) for v, n in zip(variables, names)
+        ]
+        conditions = ConditionSet()
+        for first, second in zip(variables, variables[1:]):
+            conditions.add(traffic.condition_between(first, second))
+        pattern = Pattern(
+            PatternOperator.SEQUENCE, items, condition=conditions, window=5.0
+        )
+
+        adaptive = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(distance=0.1),
+            monitoring_interval=1.0,
+        ).run(InMemoryEventStream(list(traffic_stream)))
+        static = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), StaticPolicy(), monitoring_interval=1.0
+        ).run(InMemoryEventStream(list(traffic_stream)))
+        assert adaptive.match_count == static.match_count
+        assert adaptive.metrics.extension_attempts <= static.metrics.extension_attempts
+
+    def test_invariant_policy_requests_fewer_regenerations_than_unconditional(
+        self, traffic, traffic_stream
+    ):
+        pattern = WorkloadGenerator(traffic, seed=3).sequence_pattern(4)
+        invariant_engine = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(distance=0.1),
+            monitoring_interval=1.0,
+        )
+        unconditional_engine = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), UnconditionalPolicy(), monitoring_interval=1.0
+        )
+        invariant_engine.run(InMemoryEventStream(list(traffic_stream)))
+        unconditional_engine.run(InMemoryEventStream(list(traffic_stream)))
+        invariant_generated = invariant_engine.controller.statistics.plans_generated
+        unconditional_generated = unconditional_engine.controller.statistics.plans_generated
+        assert invariant_generated < unconditional_generated
+
+    def test_plan_history_reflects_reoptimizations(self, traffic, traffic_stream):
+        pattern = WorkloadGenerator(traffic, seed=3).sequence_pattern(4)
+        engine = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(distance=0.1),
+            monitoring_interval=1.0,
+        )
+        engine.run(InMemoryEventStream(list(traffic_stream)))
+        assert len(engine.plan_history) == engine.reoptimization_count() + 1
+
+
+class TestStocksIntegration:
+    def test_davg_distance_policy_runs_end_to_end(self):
+        stocks = StockDatasetSimulator(num_types=8, duration_hint=60, seed=5)
+        stream = stocks.generate(duration=60, seed=6, max_events=4000)
+        pattern = WorkloadGenerator(stocks, seed=1).sequence_pattern(4)
+        engine = AdaptiveCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(distance=AverageRelativeDifferenceDistance()),
+            monitoring_interval=2.0,
+        )
+        result = engine.run(stream)
+        assert result.metrics.events_processed == len(stream)
+
+    def test_negation_and_kleene_workloads_run(self):
+        stocks = StockDatasetSimulator(num_types=8, duration_hint=40, seed=5)
+        stream = stocks.generate(duration=40, seed=6, max_events=2500)
+        workload = WorkloadGenerator(stocks, seed=1)
+        for family in ("negation", "kleene"):
+            pattern = workload.pattern(family, 3)
+            engine = AdaptiveCEPEngine(
+                pattern, GreedyOrderPlanner(), InvariantBasedPolicy(distance=0.2),
+                monitoring_interval=2.0,
+            )
+            result = engine.run(InMemoryEventStream(list(stream)))
+            assert result.metrics.events_processed == len(stream)
+
+    def test_composite_workload_runs_through_multi_engine(self):
+        stocks = StockDatasetSimulator(num_types=10, duration_hint=40, seed=5)
+        stream = stocks.generate(duration=40, seed=6, max_events=2500)
+        composite = WorkloadGenerator(stocks, seed=1).composite_pattern(3)
+        engine = MultiPatternEngine(
+            composite,
+            GreedyOrderPlanner(),
+            policy_factory=lambda: InvariantBasedPolicy(distance=0.2),
+            monitoring_interval=2.0,
+        )
+        result = engine.run(stream)
+        assert result.metrics.events_processed == len(stream)
+        assert len(engine.sub_engines) == 3
