@@ -1,0 +1,72 @@
+"""Sequential vs sharded throughput on a keyed multi-entity workload.
+
+This benchmark goes beyond the paper: it measures the scale-out headroom
+added by the :mod:`repro.parallel` subsystem.  A keyed workload (every
+event tagged with an entity identifier, the pattern equi-joined on it) is
+run once through the sequential adaptive engine and once per shard count
+through the key-partitioned parallel engine.  The throughput comparison is
+printed as a table and recorded in the pytest-benchmark ``extra_info``
+block, so a ``--benchmark-json`` run preserves it in the JSON output.
+
+Match counts are asserted equal across all execution modes — sharding must
+never change *what* is detected, only *how fast*.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import ExperimentConfig, format_table, parallel_speedup_rows
+from repro.experiments.reporting import pivot
+
+#: Shard counts compared against the sequential baseline (≥ 2 as required).
+SHARD_COUNTS = (2, 4)
+
+
+def test_parallel_speedup(benchmark, bench_scale, make_config, report_table):
+    config = make_config(
+        "stocks",
+        "greedy",
+        sizes=tuple(bench_scale["sizes"][:2]),
+        executor="serial",
+    )
+
+    rows = benchmark.pedantic(
+        parallel_speedup_rows,
+        args=(config,),
+        kwargs={"shard_counts": SHARD_COUNTS, "entities": 8},
+        rounds=1,
+        iterations=1,
+    )
+
+    report_table(
+        format_table(
+            pivot(rows, index="size", column="mode", value="throughput"),
+            title=(
+                f"parallel scale-out — {config.dataset}/{config.algorithm}: "
+                "sequential vs sharded throughput [events/s]"
+            ),
+        )
+    )
+    report_table(
+        format_table(
+            pivot(rows, index="size", column="mode", value="speedup"),
+            title="parallel scale-out — relative throughput vs sequential",
+        )
+    )
+
+    # Record the comparison into the benchmark JSON output (extra_info is
+    # serialized verbatim by pytest-benchmark's --benchmark-json).
+    for row in rows:
+        key = f"size{row['size']}_{row['mode']}"
+        benchmark.extra_info[f"{key}_throughput"] = round(row["throughput"], 1)
+        benchmark.extra_info[f"{key}_matches"] = row["matches"]
+        benchmark.extra_info[f"{key}_speedup"] = round(row["speedup"], 3)
+    benchmark.extra_info["shard_counts"] = list(SHARD_COUNTS)
+
+    # Correctness: every execution mode detects exactly the same matches.
+    for size in config.sizes:
+        match_counts = {
+            row["mode"]: row["matches"] for row in rows if row["size"] == size
+        }
+        assert len(set(match_counts.values())) == 1, match_counts
+    # Liveness: every mode actually processed events.
+    assert all(row["throughput"] > 0 for row in rows)

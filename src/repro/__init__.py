@@ -28,6 +28,38 @@ Quick start::
     for event in my_stream:
         for match in engine.process(event):
             print(match)
+
+Scaling out
+-----------
+The :mod:`repro.parallel` subsystem scales detection beyond a single core
+by data partitioning while leaving the per-shard ACEP algorithm untouched:
+a :class:`~repro.parallel.ParallelCEPEngine` splits the stream across N
+independent engine replicas (each with its own statistics collector and
+adaptation controller), runs them under a pluggable executor (in-process
+:class:`~repro.parallel.SerialExecutor` or process-pool
+:class:`~repro.parallel.MultiprocessExecutor`), and merges the per-shard
+matches into one deduplicated, timestamp-ordered
+:class:`~repro.engine.RunResult`.  Partitioning strategies:
+:class:`~repro.parallel.KeyPartitioner` (hash an event attribute; refused
+when the pattern's conditions could correlate events across keys),
+:class:`~repro.parallel.RoundRobinPartitioner` (single-event patterns
+only) and the always-correct :class:`~repro.parallel.BroadcastPartitioner`.
+Ingestion is batched (:func:`repro.parallel.batched`) so shards consume
+chunks rather than single events::
+
+    from repro.parallel import ParallelCEPEngine, KeyPartitioner, MultiprocessExecutor
+
+    engine = ParallelCEPEngine(
+        pattern, GreedyOrderPlanner(), InvariantBasedPolicy(),
+        shards=4,
+        partitioner=KeyPartitioner("person_id"),
+        executor=MultiprocessExecutor(),
+    )
+    result = engine.run(my_stream)   # same matches as AdaptiveCEPEngine.run
+
+With ``shards=1`` (and the default serial executor) the parallel engine is
+bit-for-bit identical to :class:`AdaptiveCEPEngine` — sharding only decides
+*which* events each replica sees, never *how* they are evaluated.
 """
 
 from repro.errors import (
@@ -39,6 +71,8 @@ from repro.errors import (
     OptimizerError,
     AdaptationError,
     EngineError,
+    PartitionError,
+    ParallelExecutionError,
     DatasetError,
     ExperimentError,
 )
@@ -100,6 +134,16 @@ from repro.engine import (
 from repro.datasets import TrafficDatasetSimulator, StockDatasetSimulator
 from repro.workloads import WorkloadGenerator
 from repro.metrics import RunMetrics
+from repro.parallel import (
+    ParallelCEPEngine,
+    KeyPartitioner,
+    RoundRobinPartitioner,
+    BroadcastPartitioner,
+    SerialExecutor,
+    MultiprocessExecutor,
+    EventBatch,
+    batched,
+)
 
 __version__ = "1.0.0"
 
@@ -114,6 +158,8 @@ __all__ = [
     "OptimizerError",
     "AdaptationError",
     "EngineError",
+    "PartitionError",
+    "ParallelExecutionError",
     "DatasetError",
     "ExperimentError",
     # events
@@ -178,4 +224,13 @@ __all__ = [
     "WorkloadGenerator",
     # metrics
     "RunMetrics",
+    # parallel execution
+    "ParallelCEPEngine",
+    "KeyPartitioner",
+    "RoundRobinPartitioner",
+    "BroadcastPartitioner",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    "EventBatch",
+    "batched",
 ]

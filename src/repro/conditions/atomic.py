@@ -135,6 +135,14 @@ class AttributeComparisonCondition(Condition):
         return self._right_variable
 
     @property
+    def left_attribute(self) -> str:
+        return self._left_attribute
+
+    @property
+    def right_attribute(self) -> str:
+        return self._right_attribute
+
+    @property
     def op_symbol(self) -> str:
         return self._op_symbol
 

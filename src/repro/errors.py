@@ -39,6 +39,14 @@ class EngineError(ReproError):
     """Runtime evaluation engine failure."""
 
 
+class PartitionError(ReproError):
+    """A partitioning strategy cannot guarantee correct sharded detection."""
+
+
+class ParallelExecutionError(ReproError):
+    """A sharded executor failed to run or collect its shards."""
+
+
 class DatasetError(ReproError):
     """A dataset simulator or workload generator was misconfigured."""
 

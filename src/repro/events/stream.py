@@ -13,7 +13,11 @@ concrete implementations are provided:
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+from collections import Counter
+from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Optional, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (parallel uses events)
+    from repro.parallel.batching import EventBatch
 
 from repro.errors import DatasetError
 from repro.events.event import Event
@@ -38,11 +42,20 @@ class EventStream:
         return list(self)
 
     def count_by_type(self) -> Dict[str, int]:
-        """Return the number of events per event-type name."""
-        counts: Dict[str, int] = {}
-        for event in self:
-            counts[event.type_name] = counts.get(event.type_name, 0) + 1
-        return counts
+        """Return the number of events per event-type name.
+
+        Implemented with :class:`collections.Counter` over a generator —
+        a single C-level pass instead of a per-event dict lookup loop.
+        """
+        return dict(Counter(event.type_name for event in self))
+
+    def batched(self, batch_size: int) -> "Iterator[EventBatch]":
+        """Iterate the stream as :class:`~repro.parallel.batching.EventBatch`
+        chunks of up to ``batch_size`` events (the sharded runtime's
+        ingestion unit)."""
+        from repro.parallel.batching import batched as _batched
+
+        return _batched(self, batch_size)
 
 
 class InMemoryEventStream(EventStream):
@@ -113,7 +126,22 @@ class MergedEventStream(EventStream):
         return heapq.merge(*self._streams)
 
     def __len__(self) -> int:
-        return sum(len(s) for s in self._streams)
+        """Sum of the sub-stream lengths, when every sub-stream is sized.
+
+        Raises a :class:`TypeError` naming the offending sub-stream when one
+        of them has no defined length, instead of surfacing the base class's
+        opaque error mid-summation.
+        """
+        total = 0
+        for stream in self._streams:
+            try:
+                total += len(stream)
+            except TypeError:
+                raise TypeError(
+                    f"MergedEventStream length is undefined: sub-stream "
+                    f"{type(stream).__name__} has no defined length"
+                ) from None
+        return total
 
 
 def stream_from_tuples(

@@ -14,10 +14,21 @@ Each module corresponds to one experiment of Section 5 / Appendix A:
   and computational overhead of the four adaptation methods).
 * :mod:`repro.experiments.ablations` — K-invariant and invariant-selection
   strategy ablations (Sections 3.3 and 3.5).
+* :mod:`repro.experiments.parallel_scaling` — sequential vs sharded
+  throughput on a keyed workload (the scale-out experiment enabled by
+  :mod:`repro.parallel`, beyond the paper).
 """
 
 from repro.experiments.config import ExperimentConfig, PolicySpec
-from repro.experiments.runner import run_single, build_policy, build_planner, make_stream
+from repro.experiments.runner import (
+    run_single,
+    build_policy,
+    build_planner,
+    build_partitioner,
+    build_executor,
+    make_stream,
+)
+from repro.experiments.parallel_scaling import parallel_speedup_rows
 from repro.experiments.method_comparison import (
     MethodComparisonResult,
     compare_methods,
@@ -34,7 +45,10 @@ __all__ = [
     "run_single",
     "build_policy",
     "build_planner",
+    "build_partitioner",
+    "build_executor",
     "make_stream",
+    "parallel_speedup_rows",
     "MethodComparisonResult",
     "compare_methods",
     "DEFAULT_METHODS",

@@ -23,6 +23,7 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.distance_estimation import distance_estimation_table
 from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, find_optimal_distance
 from repro.experiments.method_comparison import DEFAULT_METHODS, RECOMMENDED_DISTANCE, compare_methods
+from repro.experiments.parallel_scaling import parallel_speedup_rows
 from repro.experiments.reporting import format_table, pivot, rows_to_csv
 
 
@@ -38,6 +39,27 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         "--monitoring-interval", type=float, default=1.0, help="time between decisions"
     )
     parser.add_argument("--csv", type=str, default=None, help="also write rows to a CSV file")
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of parallel engine replicas (1 = plain sequential engine)",
+    )
+    parser.add_argument(
+        "--partition-by",
+        type=str,
+        default=None,
+        help="event attribute for key partitioning (default: broadcast to all shards)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=256, help="events per ingestion batch"
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("serial", "process"),
+        default="serial",
+        help="shard executor: in-process serial or a multiprocess worker pool",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -49,6 +71,10 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         max_events=args.max_events,
         sizes=sizes,
         monitoring_interval=args.monitoring_interval,
+        shards=args.shards,
+        partition_by=args.partition_by,
+        batch_size=args.batch_size,
+        executor=args.executor,
     )
 
 
@@ -119,6 +145,34 @@ def _run_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_parallel(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    shard_counts = tuple(int(part) for part in args.shard_counts.split(",") if part)
+    # An explicit --shards N joins the comparison instead of being ignored.
+    if args.shards > 1 and args.shards not in shard_counts:
+        shard_counts = tuple(sorted(set(shard_counts) | {args.shards}))
+    rows = parallel_speedup_rows(
+        config, shard_counts=shard_counts, entities=args.entities
+    )
+    print(
+        format_table(
+            pivot(rows, index="size", column="mode", value="throughput"),
+            title=(
+                f"{config.dataset}/{config.algorithm}: sequential vs sharded "
+                f"throughput [events/s] ({config.executor} executor)"
+            ),
+        )
+    )
+    print(
+        format_table(
+            pivot(rows, index="size", column="mode", value="matches"),
+            title="match counts (must agree across modes)",
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    return 0
+
+
 def _run_ablation_k(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     rows = k_invariant_ablation(config, k_values=(1, 2, 4, 0))
@@ -173,6 +227,24 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--max-events", type=int, default=12000)
     table1.add_argument("--csv", type=str, default=None)
     table1.set_defaults(handler=_run_table1)
+
+    parallel = subparsers.add_parser(
+        "parallel", help="sequential vs sharded throughput on a keyed workload"
+    )
+    _add_common_options(parallel)
+    parallel.add_argument(
+        "--shard-counts",
+        type=str,
+        default="2,4",
+        help="comma-separated shard counts to compare against sequential",
+    )
+    parallel.add_argument(
+        "--entities",
+        type=int,
+        default=8,
+        help="number of distinct partition-key values in the keyed stream",
+    )
+    parallel.set_defaults(handler=_run_parallel)
 
     ablation_k = subparsers.add_parser("ablation-k", help="K-invariant ablation")
     _add_common_options(ablation_k)

@@ -67,6 +67,10 @@ class ExperimentConfig:
     base_rate: Optional[float] = None
     num_types: Optional[int] = None
     window: Optional[float] = None
+    shards: int = 1
+    partition_by: Optional[str] = None
+    batch_size: int = 256
+    executor: str = "serial"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("greedy", "zstream"):
@@ -77,6 +81,14 @@ class ExperimentConfig:
             raise ExperimentError("duration must be positive")
         if self.monitoring_interval <= 0:
             raise ExperimentError("monitoring_interval must be positive")
+        if self.shards < 1:
+            raise ExperimentError("shards must be a positive integer")
+        if self.batch_size < 1:
+            raise ExperimentError("batch_size must be a positive integer")
+        if self.executor not in ("serial", "process"):
+            raise ExperimentError(
+                f"unknown executor {self.executor!r}; expected 'serial' or 'process'"
+            )
 
     def dataset_kwargs(self) -> dict:
         kwargs: dict = {"duration_hint": self.duration}

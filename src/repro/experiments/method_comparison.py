@@ -125,6 +125,10 @@ def compare_methods(
                     config.algorithm,
                     spec,
                     config.monitoring_interval,
+                    shards=config.shards,
+                    partition_by=config.partition_by,
+                    batch_size=config.batch_size,
+                    executor=config.executor,
                 )
                 for pattern in patterns
             ]

@@ -1,0 +1,106 @@
+"""Sequential-vs-sharded throughput comparison on a keyed workload.
+
+The scale-out experiment the paper does not run: take a keyed multi-entity
+workload (every event tagged with an entity identifier, the pattern joined
+on it), evaluate it once with the sequential
+:class:`~repro.engine.AdaptiveCEPEngine` and once per requested shard
+count with the :class:`~repro.parallel.ParallelCEPEngine`, and report
+throughput side by side.  Because the workload is key-partitionable, the
+sharded runs detect exactly the same matches — the match count column
+doubles as a correctness check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine import AdaptiveCEPEngine
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import (
+    build_dataset,
+    build_executor,
+    build_planner,
+    build_policy,
+    build_workload,
+)
+from repro.parallel import KeyPartitioner, ParallelCEPEngine
+
+#: Key attribute used when the config does not name one.
+DEFAULT_PARTITION_KEY = "entity_id"
+
+
+def parallel_speedup_rows(
+    config: ExperimentConfig,
+    shard_counts: Sequence[int] = (2, 4),
+    entities: int = 8,
+    policy_spec: Optional[PolicySpec] = None,
+) -> List[Dict[str, float]]:
+    """One row per (pattern size, execution mode) with throughput and matches.
+
+    The ``"sequential"`` row is the plain adaptive engine; each
+    ``"sharded(N)"`` row runs ``N`` key-partitioned replicas under the
+    executor named by ``config.executor``.
+    """
+    spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
+    key = config.partition_by or DEFAULT_PARTITION_KEY
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+
+    rows: List[Dict[str, float]] = []
+    for size in config.sizes:
+        pattern, stream = workload.keyed_workload(
+            size,
+            duration=config.duration,
+            entities=entities,
+            key=key,
+            seed=config.stream_seed,
+            max_events=config.max_events,
+        )
+
+        sequential = AdaptiveCEPEngine(
+            pattern,
+            build_planner(config.algorithm),
+            build_policy(spec),
+            monitoring_interval=config.monitoring_interval,
+        ).run(stream)
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "algorithm": config.algorithm,
+                "size": size,
+                "mode": "sequential",
+                "shards": 1,
+                "throughput": sequential.metrics.throughput,
+                "matches": float(sequential.match_count),
+                "speedup": 1.0,
+            }
+        )
+
+        for shards in shard_counts:
+            parallel = ParallelCEPEngine(
+                pattern,
+                build_planner(config.algorithm),
+                build_policy(spec),
+                shards=shards,
+                partitioner=KeyPartitioner(key),
+                executor=build_executor(config.executor),
+                batch_size=config.batch_size,
+                monitoring_interval=config.monitoring_interval,
+            ).run(stream)
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "algorithm": config.algorithm,
+                    "size": size,
+                    "mode": f"sharded({shards})",
+                    "shards": shards,
+                    "throughput": parallel.metrics.throughput,
+                    "matches": float(parallel.match_count),
+                    "speedup": (
+                        parallel.metrics.throughput / sequential.metrics.throughput
+                        if sequential.metrics.throughput > 0
+                        else float("inf")
+                    ),
+                }
+            )
+    return rows

@@ -19,10 +19,33 @@ from repro.events import InMemoryEventStream
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.metrics import RunMetrics
 from repro.optimizer import GreedyOrderPlanner, PlanGenerator, ZStreamTreePlanner
+from repro.parallel import (
+    BroadcastPartitioner,
+    KeyPartitioner,
+    MultiprocessExecutor,
+    ParallelCEPEngine,
+    SerialExecutor,
+)
 from repro.patterns import CompositePattern, Pattern
 from repro.workloads import WorkloadGenerator
 
 PatternLike = Union[Pattern, CompositePattern]
+
+
+def build_partitioner(partition_by: Optional[str]):
+    """Key partitioner when an attribute is named, broadcast otherwise."""
+    if partition_by:
+        return KeyPartitioner(partition_by)
+    return BroadcastPartitioner()
+
+
+def build_executor(executor: str):
+    """Executor factory: ``"serial"`` or ``"process"``."""
+    if executor == "serial":
+        return SerialExecutor()
+    if executor == "process":
+        return MultiprocessExecutor()
+    raise ExperimentError(f"unknown executor {executor!r}")
 
 
 def build_planner(algorithm: str) -> PlanGenerator:
@@ -78,6 +101,10 @@ def run_single(
     algorithm: str,
     policy_spec: PolicySpec,
     monitoring_interval: float = 1.0,
+    shards: int = 1,
+    partition_by: Optional[str] = None,
+    batch_size: int = 256,
+    executor: str = "serial",
 ) -> RunMetrics:
     """Run one adaptation method on one pattern over one stream.
 
@@ -87,9 +114,28 @@ def run_single(
     adaptive methods may replace it as statistics are estimated on-line.
     This mirrors the paper's motivation that a-priori statistics are rarely
     available in practice.
+
+    With ``shards > 1`` the run goes through the sharded
+    :class:`~repro.parallel.ParallelCEPEngine` instead of the sequential
+    engine: the stream is partitioned (``partition_by`` selects key
+    partitioning, otherwise broadcast) across that many engine replicas
+    and the merged metrics are returned.
     """
     planner = build_planner(algorithm)
-    if isinstance(pattern, CompositePattern):
+    if shards > 1:
+        engine: "ParallelCEPEngine | MultiPatternEngine | AdaptiveCEPEngine" = (
+            ParallelCEPEngine(
+                pattern,
+                planner,
+                build_policy(policy_spec),
+                shards=shards,
+                partitioner=build_partitioner(partition_by),
+                executor=build_executor(executor),
+                batch_size=batch_size,
+                monitoring_interval=monitoring_interval,
+            )
+        )
+    elif isinstance(pattern, CompositePattern):
         engine = MultiPatternEngine(
             pattern,
             planner,

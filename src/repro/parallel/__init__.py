@@ -1,0 +1,181 @@
+"""Partitioned parallel execution of adaptive CEP.
+
+Scales the single-threaded :class:`~repro.engine.AdaptiveCEPEngine` out by
+data partitioning: the input stream is split across ``N`` independent
+engine replicas (each with its own statistics collector and adaptation
+controller), the replicas run under a pluggable executor (in-process
+serial or multiprocess), and their match outputs are merged into one
+deduplicated, timestamp-ordered result.  The paper's per-shard algorithm
+is untouched — a single shard with the serial executor is exactly the
+sequential engine.
+
+Quick start::
+
+    from repro.parallel import ParallelCEPEngine, KeyPartitioner, MultiprocessExecutor
+
+    engine = ParallelCEPEngine(
+        pattern, GreedyOrderPlanner(), InvariantBasedPolicy(),
+        shards=4,
+        partitioner=KeyPartitioner("entity_id"),
+        executor=MultiprocessExecutor(),
+    )
+    result = engine.run(stream)   # same RunResult as AdaptiveCEPEngine.run
+
+The partitioner is validated against the pattern before anything runs:
+key partitioning is refused when the pattern's conditions could correlate
+events across partition keys (see
+:meth:`~repro.parallel.partitioner.KeyPartitioner.validate`).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Iterable, Optional, Union
+
+from repro.adaptive import ReoptimizationPolicy
+from repro.engine import RunResult
+from repro.events import Event, EventStream
+from repro.optimizer import PlanGenerator
+from repro.parallel.batching import DEFAULT_BATCH_SIZE, EventBatch, batched
+from repro.parallel.executor import (
+    MultiprocessExecutor,
+    SerialExecutor,
+    ShardExecutor,
+)
+from repro.parallel.merger import match_signature, merge_matches, merge_outputs
+from repro.parallel.partitioner import (
+    BroadcastPartitioner,
+    KeyPartitioner,
+    Partitioner,
+    RoundRobinPartitioner,
+)
+from repro.parallel.shard import Shard, ShardedEngine, ShardOutput
+from repro.patterns import CompositePattern, Pattern
+from repro.statistics import StatisticsProvider, StatisticsSnapshot
+
+PatternLike = Union[Pattern, CompositePattern]
+
+
+class ParallelCEPEngine:
+    """Sharded adaptive CEP over one pattern (mirrors ``AdaptiveCEPEngine.run``).
+
+    Parameters
+    ----------
+    pattern / planner / policy:
+        Exactly as for :class:`~repro.engine.AdaptiveCEPEngine`; each shard
+        receives its own deep copy of the planner and policy.
+    shards:
+        Number of independent engine replicas.
+    partitioner:
+        Event-routing strategy; defaults to the always-correct
+        :class:`BroadcastPartitioner`.
+    executor:
+        Shard execution strategy; defaults to the deterministic
+        :class:`SerialExecutor`.
+    batch_size:
+        Events per ingestion batch (chunked dispatch to the shards).
+    statistics_provider / initial_snapshot / monitoring_interval:
+        Forwarded to every shard's engine replica.
+    validate_partitioning:
+        When true (default), the partitioner's safety check runs against
+        the pattern before any event is routed.
+    """
+
+    def __init__(
+        self,
+        pattern: PatternLike,
+        planner: PlanGenerator,
+        policy: ReoptimizationPolicy,
+        shards: int = 1,
+        partitioner: Optional[Partitioner] = None,
+        executor: Optional[ShardExecutor] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+        statistics_provider: Optional[StatisticsProvider] = None,
+        initial_snapshot: Optional[StatisticsSnapshot] = None,
+        monitoring_interval: float = 1.0,
+        validate_partitioning: bool = True,
+    ):
+        self.pattern = pattern
+        self._partitioner = partitioner or BroadcastPartitioner()
+        self._executor = executor or SerialExecutor()
+        self._batch_size = int(batch_size)
+        if validate_partitioning:
+            self._partitioner.validate(pattern, shards)
+        self._sharded = ShardedEngine(
+            pattern,
+            planner,
+            policy,
+            num_shards=shards,
+            statistics_provider=statistics_provider,
+            initial_snapshot=initial_snapshot,
+            monitoring_interval=monitoring_interval,
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self._sharded.num_shards
+
+    @property
+    def partitioner(self) -> Partitioner:
+        return self._partitioner
+
+    @property
+    def executor(self) -> ShardExecutor:
+        return self._executor
+
+    @property
+    def sharded_engine(self) -> ShardedEngine:
+        return self._sharded
+
+    # ------------------------------------------------------------------
+    # Whole-stream API
+    # ------------------------------------------------------------------
+    def run(self, stream: "EventStream | Iterable[Event]") -> RunResult:
+        """Partition, execute and merge: the sharded counterpart of
+        :meth:`AdaptiveCEPEngine.run`."""
+        started = time.perf_counter()
+        ingested = self._sharded.dispatch(
+            stream, self._partitioner, batch_size=self._batch_size
+        )
+        try:
+            outputs = self._executor.execute(self._sharded.shards)
+        finally:
+            # The multiprocess executor runs *copies* of the shards, so the
+            # local buffers must be drained here too — otherwise a later
+            # run() would re-dispatch this stream's events alongside the
+            # next one's.
+            for shard in self._sharded.shards:
+                shard.clear_batches()
+        wall_seconds = time.perf_counter() - started
+        return merge_outputs(
+            outputs, events_ingested=ingested, wall_seconds=wall_seconds
+        )
+
+
+__all__ = [
+    "ParallelCEPEngine",
+    # partitioning
+    "Partitioner",
+    "KeyPartitioner",
+    "RoundRobinPartitioner",
+    "BroadcastPartitioner",
+    # sharding
+    "Shard",
+    "ShardOutput",
+    "ShardedEngine",
+    # batching
+    "EventBatch",
+    "batched",
+    "DEFAULT_BATCH_SIZE",
+    # execution
+    "ShardExecutor",
+    "SerialExecutor",
+    "MultiprocessExecutor",
+    # merging
+    "match_signature",
+    "merge_matches",
+    "merge_outputs",
+]

@@ -1,0 +1,196 @@
+"""Sharded engine replicas.
+
+A :class:`Shard` owns one independent engine replica (a full
+:class:`~repro.engine.AdaptiveCEPEngine` — or
+:class:`~repro.engine.MultiPatternEngine` for composite patterns — with
+its own statistics collector and adaptation controller) plus the batches
+of events routed to it.  :class:`ShardedEngine` builds ``N`` such shards
+from one pattern/planner/policy specification and dispatches a stream
+across them through a partitioner.
+
+The per-shard algorithm is exactly the paper's ACEP loop — sharding only
+decides *which* events each replica sees, never *how* they are evaluated,
+so a single shard fed the whole stream behaves bit-for-bit like the
+unsharded engine.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.adaptive import ReoptimizationPolicy
+from repro.engine import AdaptiveCEPEngine, Match, MultiPatternEngine
+from repro.errors import ParallelExecutionError
+from repro.events import Event, EventStream
+from repro.metrics import RunMetrics
+from repro.optimizer import PlanGenerator
+from repro.parallel.batching import DEFAULT_BATCH_SIZE, EventBatch, batched
+from repro.parallel.partitioner import Partitioner
+from repro.patterns import CompositePattern, Pattern
+from repro.statistics import StatisticsProvider, StatisticsSnapshot
+
+PatternLike = Union[Pattern, CompositePattern]
+EngineLike = Union[AdaptiveCEPEngine, MultiPatternEngine]
+
+
+@dataclass
+class ShardOutput:
+    """Result of running one shard to completion (picklable)."""
+
+    shard_id: int
+    matches: List[Match]
+    metrics: RunMetrics
+    plan_history: List[str] = field(default_factory=list)
+
+
+class Shard:
+    """One engine replica plus its buffered input batches.
+
+    A shard is self-contained and picklable: the multiprocess executor
+    ships the whole object (engine state and buffered events) to a worker
+    process and gets a :class:`ShardOutput` back.
+    """
+
+    def __init__(self, shard_id: int, engine: EngineLike):
+        self.shard_id = shard_id
+        self.engine = engine
+        self._batches: List[EventBatch] = []
+
+    def add_batch(self, batch: EventBatch) -> None:
+        self._batches.append(batch)
+
+    def clear_batches(self) -> None:
+        """Drop buffered input (the executor's copy may already have run it)."""
+        self._batches = []
+
+    @property
+    def batches(self) -> List[EventBatch]:
+        return list(self._batches)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(len(batch) for batch in self._batches)
+
+    def _events(self):
+        for batch in self._batches:
+            yield from batch
+
+    def run(self) -> ShardOutput:
+        """Drain the buffered batches through the engine replica."""
+        result = self.engine.run(self._events())
+        self.clear_batches()
+        return ShardOutput(
+            shard_id=self.shard_id,
+            matches=result.matches,
+            metrics=result.metrics,
+            plan_history=result.plan_history,
+        )
+
+    def __repr__(self) -> str:
+        return f"<Shard id={self.shard_id} pending={self.pending_events}>"
+
+
+class ShardedEngine:
+    """``N`` independent engine replicas over one pattern.
+
+    Each replica gets its *own* deep copy of the planner and the decision
+    policy: policies are stateful (invariants, reference snapshots), and
+    every shard adapts independently to the statistics of its sub-stream.
+    """
+
+    def __init__(
+        self,
+        pattern: PatternLike,
+        planner: PlanGenerator,
+        policy: ReoptimizationPolicy,
+        num_shards: int,
+        statistics_provider: Optional[StatisticsProvider] = None,
+        initial_snapshot: Optional[StatisticsSnapshot] = None,
+        monitoring_interval: float = 1.0,
+    ):
+        if num_shards < 1:
+            raise ParallelExecutionError(
+                f"num_shards must be a positive integer, got {num_shards!r}"
+            )
+        self.pattern = pattern
+        self._num_shards = int(num_shards)
+        self._shards = [
+            Shard(
+                shard_id,
+                _build_replica(
+                    pattern,
+                    planner,
+                    policy,
+                    statistics_provider,
+                    initial_snapshot,
+                    monitoring_interval,
+                ),
+            )
+            for shard_id in range(self._num_shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return self._num_shards
+
+    @property
+    def shards(self) -> List[Shard]:
+        return list(self._shards)
+
+    def dispatch(
+        self,
+        stream: "EventStream | List[Event]",
+        partitioner: Partitioner,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Route a stream into the shard buffers batch by batch.
+
+        Returns the number of *distinct* input events ingested (broadcast
+        replication does not inflate the count).  Events are routed in
+        stream order, so each shard's buffer remains timestamp-ordered.
+        """
+        ingested = 0
+        buckets: List[List[Event]] = [[] for _ in range(self._num_shards)]
+        for batch in batched(stream, batch_size):
+            ingested += len(batch)
+            for bucket in buckets:
+                bucket.clear()
+            for event in batch:
+                for shard_id in partitioner.route(event, self._num_shards):
+                    buckets[shard_id].append(event)
+            for shard, bucket in zip(self._shards, buckets):
+                if bucket:
+                    shard.add_batch(EventBatch(index=batch.index, events=tuple(bucket)))
+        return ingested
+
+
+def _build_replica(
+    pattern: PatternLike,
+    planner: PlanGenerator,
+    policy: ReoptimizationPolicy,
+    statistics_provider: Optional[StatisticsProvider],
+    initial_snapshot: Optional[StatisticsSnapshot],
+    monitoring_interval: float,
+) -> EngineLike:
+    """One fresh engine with private planner/policy copies."""
+    replica_planner = copy.deepcopy(planner)
+    replica_policy = copy.deepcopy(policy)
+    if isinstance(pattern, CompositePattern):
+        return MultiPatternEngine(
+            pattern,
+            replica_planner,
+            policy_factory=lambda: copy.deepcopy(replica_policy),
+            statistics_provider=statistics_provider,
+            initial_snapshot=initial_snapshot,
+            monitoring_interval=monitoring_interval,
+        )
+    return AdaptiveCEPEngine(
+        pattern,
+        replica_planner,
+        replica_policy,
+        statistics_provider=statistics_provider,
+        initial_snapshot=initial_snapshot,
+        monitoring_interval=monitoring_interval,
+    )

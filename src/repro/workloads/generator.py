@@ -9,14 +9,14 @@ the requested operator family.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.conditions import ConditionSet
+from repro.conditions import ConditionSet, EqualityCondition
 from repro.datasets.base import DatasetSimulator
 from repro.errors import DatasetError
-from repro.events import EventType
+from repro.events import EventType, InMemoryEventStream
 from repro.patterns import (
     CompositePattern,
     Pattern,
@@ -168,6 +168,78 @@ class WorkloadGenerator:
             window=self._window_for(size),
             name=f"{self.dataset.name}-kleene-{size}-{variant}",
         )
+
+    def keyed_sequence_pattern(
+        self, size: int, key: str = "entity_id", variant: int = 0
+    ) -> Pattern:
+        """A SEQ pattern whose events must all belong to one entity.
+
+        On top of the dataset's natural inter-event predicates, consecutive
+        variables are joined by an equality on ``key`` (like the paper's
+        ``person_id`` joins in Example 1).  Because the equality chain
+        connects every variable, such patterns pass
+        :meth:`repro.parallel.KeyPartitioner.validate` and can be sharded
+        by ``key`` without losing matches.
+        """
+        types = self.select_types(size, variant)
+        variables = list(_VARIABLE_NAMES[:size])
+        items = [PatternItem(v, t) for v, t in zip(variables, types)]
+        conditions = self._chain_conditions(variables)
+        for first, second in zip(variables, variables[1:]):
+            conditions.add(EqualityCondition(first, second, key))
+        return Pattern(
+            PatternOperator.SEQUENCE,
+            items,
+            condition=conditions,
+            window=self._window_for(size),
+            name=f"{self.dataset.name}-keyedseq-{size}-{variant}",
+        )
+
+    def keyed_stream(
+        self,
+        duration: float,
+        entities: int = 8,
+        key: str = "entity_id",
+        seed: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> InMemoryEventStream:
+        """The dataset's stream with a random entity identifier per event.
+
+        Simulates a multi-entity (multi-user, multi-symbol, multi-road)
+        deployment: each event is tagged with one of ``entities`` key
+        values, deterministically from ``seed``.  Combined with
+        :meth:`keyed_sequence_pattern` this is the workload that exercises
+        key-partitioned scale-out.
+        """
+        if entities < 1:
+            raise DatasetError(f"entities must be positive, got {entities!r}")
+        base = self.dataset.generate(duration, seed=seed, max_events=max_events)
+        rng = np.random.default_rng(
+            self._seed * 7919 + entities + (0 if seed is None else seed * 104729)
+        )
+        assignments = rng.integers(0, entities, size=len(base))
+        events = [
+            event.with_payload(**{key: int(entity)})
+            for event, entity in zip(base, assignments)
+        ]
+        return InMemoryEventStream(events, sort=False)
+
+    def keyed_workload(
+        self,
+        size: int,
+        duration: float,
+        entities: int = 8,
+        key: str = "entity_id",
+        variant: int = 0,
+        seed: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> Tuple[Pattern, InMemoryEventStream]:
+        """Convenience bundle: keyed pattern plus matching keyed stream."""
+        pattern = self.keyed_sequence_pattern(size, key=key, variant=variant)
+        stream = self.keyed_stream(
+            duration, entities=entities, key=key, seed=seed, max_events=max_events
+        )
+        return pattern, stream
 
     def composite_pattern(self, size: int, variant: int = 0) -> CompositePattern:
         """A disjunction of three independent sequences of the given size."""

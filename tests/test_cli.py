@@ -25,6 +25,26 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--dataset", "bogus"])
 
+    def test_parallel_defaults(self):
+        args = build_parser().parse_args(["parallel"])
+        assert args.shards == 1
+        assert args.partition_by is None
+        assert args.batch_size == 256
+        assert args.executor == "serial"
+        assert args.shard_counts == "2,4"
+
+    def test_scale_out_options_on_compare(self):
+        args = build_parser().parse_args(
+            ["compare", "--shards", "2", "--partition-by", "entity_id", "--batch-size", "64"]
+        )
+        assert args.shards == 2
+        assert args.partition_by == "entity_id"
+        assert args.batch_size == 64
+
+    def test_invalid_executor_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--executor", "bogus"])
+
 
 class TestExecution:
     COMMON = ["--duration", "25", "--max-events", "1200", "--sizes", "3", "--monitoring-interval", "2"]
@@ -52,3 +72,28 @@ class TestExecution:
         exit_code = main(["table1", "--duration", "25", "--max-events", "1000"])
         assert exit_code == 0
         assert "davg" in capsys.readouterr().out
+
+    def test_parallel_runs(self, capsys, tmp_path):
+        csv_path = tmp_path / "parallel.csv"
+        exit_code = main(
+            [
+                "parallel",
+                "--dataset",
+                "stocks",
+                *self.COMMON,
+                "--shard-counts",
+                "2",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "sequential" in output and "sharded(2)" in output
+        assert "match counts" in output
+        assert csv_path.exists()
+
+    def test_compare_runs_sharded(self, capsys):
+        exit_code = main(["compare", *self.COMMON, "--shards", "2"])
+        assert exit_code == 0
+        assert "throughput" in capsys.readouterr().out

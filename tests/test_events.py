@@ -4,16 +4,27 @@ from __future__ import annotations
 
 import pytest
 
-from repro.errors import DatasetError, SchemaError
+from repro.errors import DatasetError, ParallelExecutionError, SchemaError
 from repro.events import (
     AttributeSpec,
     Event,
     EventSchema,
     EventType,
+    EventStream,
     InMemoryEventStream,
     MergedEventStream,
 )
 from repro.events.stream import stream_from_tuples
+
+
+class _UnsizedStream(EventStream):
+    """A sorted stream without a defined length (e.g. a live subscription)."""
+
+    def __init__(self, events):
+        self._events = list(events)
+
+    def __iter__(self):
+        return iter(self._events)
 
 
 class TestAttributeSpec:
@@ -164,6 +175,24 @@ class TestInMemoryEventStream:
         events = [Event(EventType("A"), 0.0), Event(EventType("A"), 1.0), Event(EventType("B"), 2.0)]
         assert InMemoryEventStream(events).count_by_type() == {"A": 2, "B": 1}
 
+    def test_count_by_type_empty_stream(self):
+        assert InMemoryEventStream([]).count_by_type() == {}
+
+    def test_count_by_type_on_unsized_stream(self):
+        events = [Event(EventType("A"), 0.0), Event(EventType("B"), 1.0)]
+        assert _UnsizedStream(events).count_by_type() == {"A": 1, "B": 1}
+
+    def test_len_empty_stream(self):
+        assert len(InMemoryEventStream([])) == 0
+
+    def test_len_counts_duplicated_timestamps(self):
+        events = [Event(EventType("A"), 1.0) for _ in range(3)]
+        assert len(InMemoryEventStream(events)) == 3
+
+    def test_unsized_stream_has_no_len(self):
+        with pytest.raises(TypeError):
+            len(_UnsizedStream([]))
+
     def test_time_span(self):
         events = [Event(EventType("A"), 1.0), Event(EventType("A"), 6.0)]
         assert InMemoryEventStream(events).time_span() == 5.0
@@ -191,6 +220,59 @@ class TestMergedEventStream:
     def test_requires_at_least_one_stream(self):
         with pytest.raises(DatasetError):
             MergedEventStream([])
+
+    def test_len_sums_sized_sub_streams(self):
+        streams = [
+            InMemoryEventStream([Event(EventType("A"), float(i)) for i in range(n)])
+            for n in (0, 2, 5)
+        ]
+        assert len(MergedEventStream(streams)) == 7
+
+    def test_len_with_unsized_sub_stream_raises_named_typeerror(self):
+        sized = InMemoryEventStream([Event(EventType("A"), 0.0)])
+        merged = MergedEventStream([sized, _UnsizedStream([])])
+        with pytest.raises(TypeError, match="_UnsizedStream"):
+            len(merged)
+
+
+class TestBatched:
+    """Edge cases of the sharded runtime's batched-ingestion helper."""
+
+    @staticmethod
+    def _stream(count):
+        return InMemoryEventStream(
+            [Event(EventType("A"), float(i)) for i in range(count)]
+        )
+
+    def test_empty_stream_yields_no_batches(self):
+        assert list(self._stream(0).batched(4)) == []
+
+    def test_batch_size_larger_than_stream_yields_one_short_batch(self):
+        batches = list(self._stream(3).batched(10))
+        assert len(batches) == 1
+        assert len(batches[0]) == 3
+        assert batches[0].index == 0
+
+    def test_batch_size_one_yields_singleton_batches(self):
+        batches = list(self._stream(3).batched(1))
+        assert [len(b) for b in batches] == [1, 1, 1]
+        assert [b.index for b in batches] == [0, 1, 2]
+
+    def test_uneven_split_preserves_order_and_events(self):
+        batches = list(self._stream(7).batched(3))
+        assert [len(b) for b in batches] == [3, 3, 1]
+        flattened = [event.timestamp for batch in batches for event in batch]
+        assert flattened == [float(i) for i in range(7)]
+
+    def test_non_positive_batch_size_rejected(self):
+        with pytest.raises(ParallelExecutionError):
+            list(self._stream(2).batched(0))
+
+    def test_batch_time_span_and_bounds(self):
+        (batch,) = list(self._stream(3).batched(5))
+        assert batch.first_timestamp == 0.0
+        assert batch.last_timestamp == 2.0
+        assert batch.time_span() == 2.0
 
 
 class TestStreamFromTuples:

@@ -136,6 +136,37 @@ class TestRunSingle:
         }
         assert len(set(counts.values())) == 1, counts
 
+    def test_sharded_run_matches_sequential(self):
+        dataset = build_dataset(SMALL)
+        workload = build_workload(SMALL, dataset)
+        stream = make_stream(dataset, SMALL)
+        pattern = workload.sequence_pattern(3)
+        spec = PolicySpec("invariant", distance=0.1)
+        sequential = run_single(pattern, dataset, stream, "greedy", spec)
+        sharded = run_single(
+            pattern, dataset, stream, "greedy", spec, shards=2, batch_size=128
+        )
+        assert sharded.matches_emitted == sequential.matches_emitted
+        assert sharded.events_processed == sequential.events_processed
+        assert sharded.extra["shards"] == 2.0
+
+
+class TestParallelScaling:
+    def test_parallel_speedup_rows_shape_and_correctness(self):
+        from repro.experiments import parallel_speedup_rows
+
+        rows = parallel_speedup_rows(SMALL, shard_counts=(2,), entities=4)
+        modes = {row["mode"] for row in rows}
+        assert modes == {"sequential", "sharded(2)"}
+        by_size_matches = {
+            row["size"]: set() for row in rows
+        }
+        for row in rows:
+            by_size_matches[row["size"]].add(row["matches"])
+        # Sharded and sequential runs must agree on the match count per size.
+        assert all(len(counts) == 1 for counts in by_size_matches.values())
+        assert all(row["throughput"] > 0 for row in rows)
+
 
 class TestComparisonDriver:
     def test_compare_methods_rows(self):

@@ -1,0 +1,504 @@
+"""Tests for the partitioned parallel execution subsystem (repro.parallel)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adaptive import InvariantBasedPolicy, StaticPolicy
+from repro.datasets import StockDatasetSimulator, TrafficDatasetSimulator
+from repro.engine import AdaptiveCEPEngine
+from repro.errors import ParallelExecutionError, PartitionError
+from repro.events import Event, EventType, InMemoryEventStream
+from repro.optimizer import GreedyOrderPlanner, ZStreamTreePlanner
+from repro.parallel import (
+    BroadcastPartitioner,
+    EventBatch,
+    KeyPartitioner,
+    MultiprocessExecutor,
+    ParallelCEPEngine,
+    RoundRobinPartitioner,
+    SerialExecutor,
+    ShardedEngine,
+    batched,
+    match_signature,
+    merge_matches,
+)
+from repro.parallel.shard import ShardOutput
+from repro.patterns import seq
+from repro.workloads import WorkloadGenerator
+
+from tests.conftest import make_camera_stream
+
+
+# ----------------------------------------------------------------------
+# Shared workloads (module-scoped: streams are re-iterable and engines are
+# built fresh per run, so sharing is safe and keeps the suite fast).
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def stocks_workload():
+    dataset = StockDatasetSimulator(duration_hint=60.0)
+    workload = WorkloadGenerator(dataset)
+    stream = dataset.generate(duration=60.0, seed=3, max_events=2500)
+    return workload, stream
+
+
+@pytest.fixture(scope="module")
+def traffic_workload():
+    dataset = TrafficDatasetSimulator(duration_hint=60.0)
+    workload = WorkloadGenerator(dataset)
+    stream = dataset.generate(duration=60.0, seed=3, max_events=2500)
+    return workload, stream
+
+
+@pytest.fixture(scope="module")
+def keyed_workload():
+    dataset = StockDatasetSimulator(duration_hint=60.0)
+    workload = WorkloadGenerator(dataset)
+    return workload.keyed_workload(3, duration=60.0, entities=5, max_events=3000)
+
+
+def sequential_matches(pattern, stream, planner=None, policy=None):
+    engine = AdaptiveCEPEngine(
+        pattern, planner or GreedyOrderPlanner(), policy or InvariantBasedPolicy()
+    )
+    return engine.run(stream)
+
+
+def signatures(matches):
+    return sorted(match_signature(match) for match in matches)
+
+
+# ----------------------------------------------------------------------
+# Partitioners
+# ----------------------------------------------------------------------
+class TestPartitioners:
+    def _event(self, **payload):
+        return Event(EventType("A"), 0.0, payload)
+
+    def test_broadcast_routes_to_every_shard(self):
+        assert BroadcastPartitioner().route(self._event(), 4) == (0, 1, 2, 3)
+
+    def test_round_robin_cycles(self):
+        partitioner = RoundRobinPartitioner()
+        routes = [partitioner.route(self._event(), 3)[0] for _ in range(6)]
+        assert routes == [0, 1, 2, 0, 1, 2]
+
+    def test_key_partitioner_is_deterministic_and_key_consistent(self):
+        partitioner = KeyPartitioner("user")
+        first = partitioner.route(self._event(user=42), 4)
+        second = partitioner.route(self._event(user=42), 4)
+        assert first == second
+        assert len(first) == 1 and 0 <= first[0] < 4
+
+    def test_key_partitioner_numeric_keys_hash_by_value_not_type(self):
+        # 7 == 7.0 == True under the engine's equality joins, so numerically
+        # equal keys of different types must land on the same shard.
+        partitioner = KeyPartitioner("user")
+        for shards in (2, 3, 5, 7):
+            assert (
+                partitioner.route(self._event(user=7), shards)
+                == partitioner.route(self._event(user=7.0), shards)
+            )
+            assert (
+                partitioner.route(self._event(user=1), shards)
+                == partitioner.route(self._event(user=True), shards)
+            )
+
+    def test_key_partitioner_missing_key_routes_to_one_shard(self):
+        partitioner = KeyPartitioner("user")
+        routes = {partitioner.route(self._event(), 4)[0] for _ in range(5)}
+        assert len(routes) == 1
+
+    def test_key_partitioner_requires_attribute_name(self):
+        with pytest.raises(PartitionError):
+            KeyPartitioner("")
+
+    def test_key_validation_accepts_key_joined_pattern(self, keyed_workload):
+        pattern, _ = keyed_workload
+        KeyPartitioner("entity_id").validate(pattern, 4)
+
+    def test_key_validation_rejects_cross_key_correlation(self, stocks_workload):
+        # Stock patterns correlate events through price differences, not a
+        # shared key: a match may combine events of different entities.
+        workload, _ = stocks_workload
+        pattern = workload.sequence_pattern(3)
+        with pytest.raises(PartitionError):
+            KeyPartitioner("entity_id").validate(pattern, 2)
+
+    def test_key_validation_rejects_unconstrained_negated_item(self, camera_types):
+        # The negated item is not key-joined: whether it suppresses a match
+        # can depend on events living in another shard.
+        a, b, c = camera_types
+        from repro.conditions import EqualityCondition
+        from repro.patterns import PatternBuilder
+
+        pattern = (
+            PatternBuilder.sequence()
+            .event(a, "a")
+            .negated_event(b, "b")
+            .event(c, "c")
+            .where(EqualityCondition("a", "c", "person_id"))
+            .within(10.0)
+            .build()
+        )
+        with pytest.raises(PartitionError):
+            KeyPartitioner("person_id").validate(pattern, 2)
+
+    def test_key_validation_single_shard_always_allowed(self, stocks_workload):
+        workload, _ = stocks_workload
+        KeyPartitioner("entity_id").validate(workload.sequence_pattern(3), 1)
+
+    def test_round_robin_validation_rejects_multi_event_patterns(self, camera_pattern):
+        with pytest.raises(PartitionError):
+            RoundRobinPartitioner().validate(camera_pattern, 2)
+
+    def test_round_robin_validation_allows_single_event_pattern(self):
+        pattern = seq([EventType("A")], window=5.0)
+        RoundRobinPartitioner().validate(pattern, 4)
+
+    def test_round_robin_validation_rejects_single_kleene_item(self):
+        # A lone Kleene item still combines several events per match, so a
+        # content-blind split would corrupt its runs.
+        from repro.patterns import PatternBuilder
+
+        pattern = (
+            PatternBuilder.sequence().kleene_event(EventType("A"), "a").within(5.0).build()
+        )
+        with pytest.raises(PartitionError):
+            RoundRobinPartitioner().validate(pattern, 2)
+
+    def test_key_validation_rejects_unconstrained_single_kleene_item(self):
+        from repro.patterns import PatternBuilder
+
+        pattern = (
+            PatternBuilder.sequence().kleene_event(EventType("A"), "a").within(5.0).build()
+        )
+        with pytest.raises(PartitionError):
+            KeyPartitioner("entity_id").validate(pattern, 2)
+
+
+# ----------------------------------------------------------------------
+# Merger
+# ----------------------------------------------------------------------
+class TestMerger:
+    def _output(self, shard_id, matches):
+        from repro.metrics import RunMetrics
+
+        return ShardOutput(shard_id=shard_id, matches=matches, metrics=RunMetrics())
+
+    def test_merge_deduplicates_identical_matches(self):
+        from repro.engine.match import Match
+
+        event = Event(EventType("A"), 1.0, {"x": 1})
+        duplicate = Match("p", {"a": event}, detection_time=1.0)
+        merged, dropped = merge_matches(
+            [self._output(0, [duplicate]), self._output(1, [duplicate])]
+        )
+        assert len(merged) == 1
+        assert dropped == 1
+
+    def test_merge_orders_by_detection_time(self):
+        from repro.engine.match import Match
+
+        early = Match("p", {"a": Event(EventType("A"), 1.0)}, detection_time=1.0)
+        late = Match("p", {"a": Event(EventType("A"), 5.0)}, detection_time=5.0)
+        merged, dropped = merge_matches(
+            [self._output(0, [late]), self._output(1, [early])]
+        )
+        assert [match.detection_time for match in merged] == [1.0, 5.0]
+        assert dropped == 0
+
+    def test_distinct_matches_at_same_time_are_kept(self):
+        from repro.engine.match import Match
+
+        first = Match("p", {"a": Event(EventType("A"), 2.0)}, detection_time=2.0)
+        second = Match("p", {"a": Event(EventType("A"), 2.0)}, detection_time=2.0)
+        merged, dropped = merge_matches([self._output(0, [first, second])])
+        assert len(merged) == 2
+        assert dropped == 0
+
+
+# ----------------------------------------------------------------------
+# Sharded engine plumbing
+# ----------------------------------------------------------------------
+class TestShardedEngine:
+    def test_rejects_non_positive_shard_count(self, camera_pattern):
+        with pytest.raises(ParallelExecutionError):
+            ShardedEngine(
+                camera_pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), 0
+            )
+
+    def test_replicas_have_independent_state(self, camera_pattern):
+        sharded = ShardedEngine(
+            camera_pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), 3
+        )
+        engines = [shard.engine for shard in sharded.shards]
+        assert len({id(engine) for engine in engines}) == 3
+        assert len({id(engine.collector) for engine in engines}) == 3
+        assert len({id(engine.controller) for engine in engines}) == 3
+
+    def test_dispatch_counts_distinct_events_under_broadcast(self, camera_pattern):
+        sharded = ShardedEngine(
+            camera_pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), 2
+        )
+        stream = make_camera_stream(count=50)
+        ingested = sharded.dispatch(stream, BroadcastPartitioner(), batch_size=16)
+        assert ingested == 50
+        for shard in sharded.shards:
+            assert shard.pending_events == 50
+
+    def test_dispatch_preserves_per_shard_order(self, keyed_workload):
+        pattern, stream = keyed_workload
+        sharded = ShardedEngine(pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), 4)
+        sharded.dispatch(stream, KeyPartitioner("entity_id"), batch_size=64)
+        for shard in sharded.shards:
+            timestamps = [
+                event.timestamp for batch in shard.batches for event in batch
+            ]
+            assert timestamps == sorted(timestamps)
+
+    def test_batches_respect_requested_size(self, camera_pattern):
+        sharded = ShardedEngine(
+            camera_pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), 1
+        )
+        stream = make_camera_stream(count=100)
+        sharded.dispatch(stream, BroadcastPartitioner(), batch_size=32)
+        sizes = [len(batch) for batch in sharded.shards[0].batches]
+        assert sizes == [32, 32, 32, 4]
+
+
+# ----------------------------------------------------------------------
+# Parallel-vs-sequential equivalence (the subsystem's core property)
+# ----------------------------------------------------------------------
+class TestEquivalence:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("family", ["sequence", "conjunction", "kleene"])
+    def test_broadcast_equivalence_on_stocks(self, stocks_workload, family, shards):
+        workload, stream = stocks_workload
+        pattern = workload.pattern(family, 3)
+        sequential = sequential_matches(pattern, stream)
+        parallel = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=shards,
+            partitioner=BroadcastPartitioner(),
+        ).run(stream)
+        assert signatures(parallel.matches) == signatures(sequential.matches)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_broadcast_equivalence_on_traffic(self, traffic_workload, shards):
+        workload, stream = traffic_workload
+        pattern = workload.sequence_pattern(3)
+        sequential = sequential_matches(pattern, stream)
+        parallel = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=shards,
+        ).run(stream)
+        assert signatures(parallel.matches) == signatures(sequential.matches)
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_key_partitioned_equivalence(self, keyed_workload, shards):
+        pattern, stream = keyed_workload
+        sequential = sequential_matches(pattern, stream)
+        parallel = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=shards,
+            partitioner=KeyPartitioner("entity_id"),
+        ).run(stream)
+        assert signatures(parallel.matches) == signatures(sequential.matches)
+        # Key partitioning never duplicates work across shards.
+        assert parallel.metrics.extra["duplicates_dropped"] == 0.0
+
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_round_robin_equivalence_on_single_event_pattern(self, shards):
+        from repro.conditions import AttributeThresholdCondition
+
+        pattern = seq(
+            [EventType("A")],
+            condition=AttributeThresholdCondition("a", "person_id", ">=", 2),
+            window=10.0,
+        )
+        stream = make_camera_stream(count=200)
+        sequential = sequential_matches(pattern, stream)
+        parallel = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=shards,
+            partitioner=RoundRobinPartitioner(),
+        ).run(stream)
+        assert signatures(parallel.matches) == signatures(sequential.matches)
+
+    def test_zstream_planner_equivalence(self, keyed_workload):
+        pattern, stream = keyed_workload
+        sequential = sequential_matches(
+            pattern, stream, planner=ZStreamTreePlanner(), policy=StaticPolicy()
+        )
+        parallel = ParallelCEPEngine(
+            pattern,
+            ZStreamTreePlanner(),
+            StaticPolicy(),
+            shards=2,
+            partitioner=KeyPartitioner("entity_id"),
+        ).run(stream)
+        assert signatures(parallel.matches) == signatures(sequential.matches)
+
+    def test_single_shard_serial_is_identical_to_sequential(self, keyed_workload):
+        """The acceptance criterion: shards=1 + SerialExecutor reproduces the
+        sequential engine bit for bit (same matches, same count metrics)."""
+        pattern, stream = keyed_workload
+        sequential = sequential_matches(pattern, stream)
+        parallel = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=1,
+            executor=SerialExecutor(),
+        ).run(stream)
+        assert signatures(parallel.matches) == signatures(sequential.matches)
+        assert parallel.metrics.matches_emitted == sequential.metrics.matches_emitted
+        assert parallel.metrics.events_processed == sequential.metrics.events_processed
+        assert (
+            parallel.metrics.partial_matches_created
+            == sequential.metrics.partial_matches_created
+        )
+        assert parallel.metrics.reoptimizations == sequential.metrics.reoptimizations
+
+    def test_unsafe_configurations_are_refused(self, stocks_workload):
+        workload, _ = stocks_workload
+        pattern = workload.sequence_pattern(3)
+        with pytest.raises(PartitionError):
+            ParallelCEPEngine(
+                pattern,
+                GreedyOrderPlanner(),
+                InvariantBasedPolicy(),
+                shards=2,
+                partitioner=KeyPartitioner("entity_id"),
+            )
+        with pytest.raises(PartitionError):
+            ParallelCEPEngine(
+                pattern,
+                GreedyOrderPlanner(),
+                InvariantBasedPolicy(),
+                shards=2,
+                partitioner=RoundRobinPartitioner(),
+            )
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+class TestExecutors:
+    def test_multiprocess_matches_serial(self, keyed_workload):
+        pattern, stream = keyed_workload
+
+        def run(executor):
+            return ParallelCEPEngine(
+                pattern,
+                GreedyOrderPlanner(),
+                InvariantBasedPolicy(),
+                shards=2,
+                partitioner=KeyPartitioner("entity_id"),
+                executor=executor,
+            ).run(stream)
+
+        serial = run(SerialExecutor())
+        multiprocess = run(MultiprocessExecutor(max_workers=2))
+        assert signatures(multiprocess.matches) == signatures(serial.matches)
+        assert multiprocess.metrics.matches_emitted == serial.metrics.matches_emitted
+
+    def test_multiprocess_single_shard_runs_inline(self, keyed_workload):
+        pattern, stream = keyed_workload
+        result = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=1,
+            executor=MultiprocessExecutor(),
+        ).run(stream)
+        assert result.metrics.extra["shards"] == 1.0
+
+    def test_multiprocess_rejects_non_positive_workers(self):
+        with pytest.raises(ParallelExecutionError):
+            MultiprocessExecutor(max_workers=0)
+
+    def test_buffers_drained_after_multiprocess_run(self, keyed_workload):
+        # The process pool runs *copies* of the shards; the facade must still
+        # drain the parent-side buffers so later runs never re-dispatch.
+        pattern, stream = keyed_workload
+        engine = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=2,
+            partitioner=KeyPartitioner("entity_id"),
+            executor=MultiprocessExecutor(max_workers=2),
+        )
+        engine.run(stream)
+        assert all(
+            shard.pending_events == 0 for shard in engine.sharded_engine.shards
+        )
+
+    def test_unpicklable_shard_reports_pickling_error(self):
+        from repro.conditions import PredicateCondition
+
+        pattern = seq(
+            [EventType("A"), EventType("B")],
+            condition=PredicateCondition(
+                ["a", "b"], lambda a, b: True, name="closure"
+            ),
+            window=10.0,
+        )
+        engine = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=2,
+            executor=MultiprocessExecutor(max_workers=2),
+        )
+        with pytest.raises(ParallelExecutionError, match="not picklable"):
+            engine.run(make_camera_stream(count=20))
+
+
+# ----------------------------------------------------------------------
+# Facade details
+# ----------------------------------------------------------------------
+class TestParallelCEPEngine:
+    def test_plan_history_is_prefixed_per_shard(self, keyed_workload):
+        pattern, stream = keyed_workload
+        result = ParallelCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), shards=2,
+            partitioner=KeyPartitioner("entity_id"),
+        ).run(stream)
+        assert result.plan_history
+        assert all(entry.startswith("shard ") for entry in result.plan_history)
+
+    def test_metrics_extra_records_dispatch_totals(self, keyed_workload):
+        pattern, stream = keyed_workload
+        result = ParallelCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), shards=3,
+        ).run(stream)
+        # Broadcast dispatches every event to every shard.
+        assert result.metrics.extra["events_dispatched"] == 3.0 * len(stream)
+        assert result.metrics.extra["shards"] == 3.0
+
+    def test_keyed_stream_tags_every_event(self, stocks_workload):
+        workload, _ = stocks_workload
+        stream = workload.keyed_stream(duration=20.0, entities=4, max_events=500)
+        entities = {event["entity_id"] for event in stream}
+        assert entities <= set(range(4))
+        assert len(entities) > 1
+
+    def test_empty_stream_yields_empty_result(self, keyed_workload):
+        pattern, _ = keyed_workload
+        result = ParallelCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy(), shards=2,
+            partitioner=KeyPartitioner("entity_id"),
+        ).run(InMemoryEventStream([]))
+        assert result.matches == []
+        assert result.metrics.events_processed == 0
