@@ -60,6 +60,31 @@ chunks rather than single events::
 With ``shards=1`` (and the default serial executor) the parallel engine is
 bit-for-bit identical to :class:`AdaptiveCEPEngine` — sharding only decides
 *which* events each replica sees, never *how* they are evaluated.
+
+Serving streams
+---------------
+The :mod:`repro.streaming` subsystem turns either engine into a deployable,
+continuously-ingesting service: lazy single-pass **sources** (rate-controlled
+replay, JSONL/CSV file tailing, iterable/callback adapters), **sinks**
+(JSONL match writer, collector, counters), a bounded staging buffer with
+backpressure/load-shedding policies, and **checkpointing** that snapshots
+engine state + source offset + sink positions so a killed pipeline resumes
+with no lost and no duplicated matches::
+
+    from repro.streaming import (
+        StreamingPipeline, ReplaySource, JSONLMatchWriter, CheckpointStore,
+    )
+
+    pipeline = StreamingPipeline(
+        engine,
+        ReplaySource(recorded, rate=5000.0),
+        sinks=[JSONLMatchWriter("matches.jsonl")],
+        checkpoint_store=CheckpointStore("ckpt/"),
+        checkpoint_every=10_000,
+    )
+    pipeline.run()   # resumes from ckpt/ when it holds a checkpoint
+
+The command-line front-end is ``python -m repro.experiments.cli serve``.
 """
 
 from repro.errors import (
@@ -75,8 +100,17 @@ from repro.errors import (
     ParallelExecutionError,
     DatasetError,
     ExperimentError,
+    StreamingError,
+    CheckpointError,
 )
-from repro.events import Event, EventType, EventSchema, AttributeSpec, InMemoryEventStream
+from repro.events import (
+    Event,
+    EventType,
+    EventSchema,
+    AttributeSpec,
+    GeneratorEventStream,
+    InMemoryEventStream,
+)
 from repro.conditions import (
     Condition,
     TrueCondition,
@@ -144,8 +178,21 @@ from repro.parallel import (
     EventBatch,
     batched,
 )
+from repro.streaming import (
+    StreamingPipeline,
+    PipelineResult,
+    ReplaySource,
+    IterableSource,
+    CallbackSource,
+    JSONLFileSource,
+    CSVFileSource,
+    CollectorSink,
+    JSONLMatchWriter,
+    MetricsSink,
+    CheckpointStore,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
@@ -162,11 +209,14 @@ __all__ = [
     "ParallelExecutionError",
     "DatasetError",
     "ExperimentError",
+    "StreamingError",
+    "CheckpointError",
     # events
     "Event",
     "EventType",
     "EventSchema",
     "AttributeSpec",
+    "GeneratorEventStream",
     "InMemoryEventStream",
     # conditions
     "Condition",
@@ -233,4 +283,16 @@ __all__ = [
     "MultiprocessExecutor",
     "EventBatch",
     "batched",
+    # streaming service runtime
+    "StreamingPipeline",
+    "PipelineResult",
+    "ReplaySource",
+    "IterableSource",
+    "CallbackSource",
+    "JSONLFileSource",
+    "CSVFileSource",
+    "CollectorSink",
+    "JSONLMatchWriter",
+    "MetricsSink",
+    "CheckpointStore",
 ]

@@ -14,7 +14,7 @@ across the pattern's events (``a.diff < b.diff < c.diff ...``).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

@@ -19,7 +19,7 @@ quantities increase or both decrease (as in the paper's Section 5.1).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

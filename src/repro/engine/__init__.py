@@ -22,6 +22,7 @@ from repro.engine.tree import TreeEvaluationEngine
 from repro.engine.migration import PlanMigrationManager
 from repro.engine.cep_engine import AdaptiveCEPEngine, RunResult, engine_for_plan
 from repro.engine.multi_pattern import MultiPatternEngine
+from repro.engine.state import restore_engine, snapshot_engine
 
 __all__ = [
     "PartialMatch",
@@ -35,4 +36,6 @@ __all__ = [
     "MultiPatternEngine",
     "RunResult",
     "engine_for_plan",
+    "snapshot_engine",
+    "restore_engine",
 ]

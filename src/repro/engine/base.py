@@ -8,7 +8,7 @@ over the positive items.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set
 
 from repro.errors import EngineError

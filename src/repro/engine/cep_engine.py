@@ -160,6 +160,29 @@ class AdaptiveCEPEngine:
         return StatisticsSnapshot(rates, {}, timestamp=0.0)
 
     # ------------------------------------------------------------------
+    # State snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> bytes:
+        """Serialize the full engine state (partial matches, statistics,
+        adaptation state) so processing can later resume exactly where it
+        stopped.  See :func:`repro.engine.state.snapshot_engine`."""
+        from repro.engine.state import snapshot_engine
+
+        return snapshot_engine(self)
+
+    @classmethod
+    def restore_state(cls, blob: bytes) -> "AdaptiveCEPEngine":
+        """Rebuild an engine from a :meth:`snapshot_state` blob."""
+        from repro.engine.state import restore_engine
+
+        engine = restore_engine(blob)
+        if not isinstance(engine, cls):
+            raise EngineError(
+                f"snapshot holds a {type(engine).__name__}, not a {cls.__name__}"
+            )
+        return engine
+
+    # ------------------------------------------------------------------
     # Event-at-a-time API
     # ------------------------------------------------------------------
     def process(self, event: Event) -> List[Match]:

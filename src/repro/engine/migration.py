@@ -20,7 +20,7 @@ processing of results occurs.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.engine.base import EngineCounters, EvaluationEngine
 from repro.engine.match import Match

@@ -74,6 +74,28 @@ class MultiPatternEngine:
         return sum(engine.reoptimization_count() for engine in self._engines)
 
     # ------------------------------------------------------------------
+    # State snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> bytes:
+        """Serialize every sub-engine's state; see
+        :func:`repro.engine.state.snapshot_engine`."""
+        from repro.engine.state import snapshot_engine
+
+        return snapshot_engine(self)
+
+    @classmethod
+    def restore_state(cls, blob: bytes) -> "MultiPatternEngine":
+        """Rebuild a multi-pattern engine from a :meth:`snapshot_state` blob."""
+        from repro.engine.state import restore_engine
+
+        engine = restore_engine(blob)
+        if not isinstance(engine, cls):
+            raise EngineError(
+                f"snapshot holds a {type(engine).__name__}, not a {cls.__name__}"
+            )
+        return engine
+
+    # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------
     def process(self, event: Event) -> List[Match]:

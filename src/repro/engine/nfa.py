@@ -41,7 +41,6 @@ from repro.engine.semantics import (
 )
 from repro.errors import EngineError
 from repro.events import Event
-from repro.patterns import Pattern
 from repro.plans import OrderBasedPlan
 from repro.statistics import StatisticsCollector
 

@@ -1,0 +1,86 @@
+"""Engine state snapshot & restore.
+
+The streaming runtime (:mod:`repro.streaming`) periodically checkpoints a
+running engine so a killed pipeline can resume without re-reading the
+stream.  An engine snapshot must capture *everything* the detection loop
+depends on: open partial matches, the draining engines of an in-flight plan
+migration, the sliding-window statistics collector, the adaptation
+controller's policy state (invariants, reference snapshots) and the work
+counters — otherwise a resumed run would diverge from an uninterrupted one.
+
+Rather than enumerating that state field by field (and silently corrupting
+resumes whenever a component grows a new field), snapshots serialize the
+engine object graph wholesale with :mod:`pickle`.  Every component shipped
+with the library is picklable — the multiprocess shard executor already
+relies on this — and the same caveat applies: user-supplied conditions must
+be module-level classes or functions, not closures.
+
+The blob is framed with a magic string and a format version so that a
+checkpoint written by an incompatible library version fails loudly instead
+of unpickling garbage state.
+"""
+
+from __future__ import annotations
+
+import pickle
+import pickletools
+
+from repro.errors import CheckpointError
+
+#: Frame prefix identifying an engine-state blob.
+SNAPSHOT_MAGIC = b"repro-engine-state"
+
+#: Bumped whenever the snapshot layout changes incompatibly.
+SNAPSHOT_VERSION = 1
+
+
+def snapshot_engine(engine: object) -> bytes:
+    """Serialize a runtime engine (and all of its mutable state) to bytes.
+
+    Works for any of the engine facades — sequential, multi-pattern or the
+    parallel sharded engine — because the whole object graph is captured.
+    """
+    if not callable(getattr(engine, "process", None)):
+        raise CheckpointError(
+            f"cannot snapshot {type(engine).__name__}: not an engine "
+            "(no process() method)"
+        )
+    try:
+        payload = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"engine state is not picklable (user-supplied conditions must "
+            f"be module-level classes or functions, not closures): {exc}"
+        ) from exc
+    header = SNAPSHOT_MAGIC + bytes([SNAPSHOT_VERSION])
+    return header + pickletools.optimize(payload)
+
+
+def restore_engine(blob: bytes) -> object:
+    """Rebuild an engine from a :func:`snapshot_engine` blob."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise CheckpointError(
+            f"engine snapshot must be bytes, got {type(blob).__name__}"
+        )
+    prefix_length = len(SNAPSHOT_MAGIC) + 1
+    if len(blob) <= prefix_length or not blob.startswith(SNAPSHOT_MAGIC):
+        raise CheckpointError(
+            "not an engine snapshot (bad magic); was this blob produced by "
+            "snapshot_engine()?"
+        )
+    version = blob[len(SNAPSHOT_MAGIC)]
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"engine snapshot version {version} is not supported by this "
+            f"library build (expected {SNAPSHOT_VERSION})"
+        )
+    try:
+        engine = pickle.loads(bytes(blob[prefix_length:]))
+    except Exception as exc:
+        raise CheckpointError(f"corrupt engine snapshot: {exc}") from exc
+    if not callable(getattr(engine, "process", None)):
+        raise CheckpointError(
+            f"snapshot decoded to {type(engine).__name__}, which is not an "
+            "engine (no process() method)"
+        )
+    return engine

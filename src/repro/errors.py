@@ -51,5 +51,13 @@ class DatasetError(ReproError):
     """A dataset simulator or workload generator was misconfigured."""
 
 
+class StreamingError(ReproError):
+    """A streaming source, sink or pipeline was misused or failed."""
+
+
+class CheckpointError(ReproError):
+    """A pipeline checkpoint could not be written, read or applied."""
+
+
 class ExperimentError(ReproError):
     """An experiment driver was configured inconsistently."""

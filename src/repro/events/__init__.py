@@ -7,7 +7,12 @@ higher layers (patterns, plans, engines) are defined over these objects.
 
 from repro.events.event import Event
 from repro.events.event_type import AttributeSpec, EventType, EventSchema
-from repro.events.stream import EventStream, InMemoryEventStream, MergedEventStream
+from repro.events.stream import (
+    EventStream,
+    GeneratorEventStream,
+    InMemoryEventStream,
+    MergedEventStream,
+)
 
 __all__ = [
     "Event",
@@ -15,6 +20,7 @@ __all__ = [
     "AttributeSpec",
     "EventSchema",
     "EventStream",
+    "GeneratorEventStream",
     "InMemoryEventStream",
     "MergedEventStream",
 ]

@@ -6,6 +6,9 @@ concrete implementations are provided:
 * :class:`InMemoryEventStream` wraps a list of events (used by tests,
   examples and the dataset simulators, which materialise their synthetic
   streams).
+* :class:`GeneratorEventStream` wraps an arbitrary iterator of events —
+  a truly lazy, single-pass stream that never materialises its input
+  (the substrate of the :mod:`repro.streaming` sources).
 * :class:`MergedEventStream` lazily merges several already-sorted streams,
   mirroring a CEP engine subscribing to multiple event sources.
 """
@@ -56,6 +59,52 @@ class EventStream:
         from repro.parallel.batching import batched as _batched
 
         return _batched(self, batch_size)
+
+
+class GeneratorEventStream(EventStream):
+    """A lazy, single-pass stream over an arbitrary event iterator.
+
+    Unlike :class:`InMemoryEventStream`, the events are never materialised:
+    iteration pulls straight from the underlying iterator, so the stream can
+    be unbounded.  The price is that it can be consumed **once** — a second
+    iteration (or a :meth:`to_list` after the first pass) raises a
+    :class:`DatasetError` instead of silently yielding nothing, which is the
+    classic exhausted-generator trap.
+
+    Parameters
+    ----------
+    events:
+        Any iterable/iterator of :class:`Event` objects in non-decreasing
+        timestamp order (not verified — verifying would require buffering).
+    name:
+        Optional label used in error messages and ``repr``.
+    """
+
+    def __init__(self, events: Iterable[Event], name: str = ""):
+        self._iterator = iter(events)
+        self._name = name or type(self).__name__
+        self._consumed = False
+
+    @property
+    def consumed(self) -> bool:
+        """Whether the single pass over the stream has already started."""
+        return self._consumed
+
+    def __iter__(self) -> Iterator[Event]:
+        if self._consumed:
+            raise DatasetError(
+                f"{self._name} is a single-pass generator-backed stream and "
+                "has already been iterated; re-iterating would silently yield "
+                "nothing. Materialise it first (e.g. wrap in "
+                "InMemoryEventStream(stream.to_list())) if multiple passes "
+                "are needed."
+            )
+        self._consumed = True
+        return self._iterator
+
+    def __repr__(self) -> str:
+        state = "consumed" if self._consumed else "fresh"
+        return f"<{type(self).__name__} {self._name!r} ({state})>"
 
 
 class InMemoryEventStream(EventStream):

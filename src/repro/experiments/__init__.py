@@ -17,6 +17,9 @@ Each module corresponds to one experiment of Section 5 / Appendix A:
 * :mod:`repro.experiments.parallel_scaling` — sequential vs sharded
   throughput on a keyed workload (the scale-out experiment enabled by
   :mod:`repro.parallel`, beyond the paper).
+* :mod:`repro.experiments.streaming_rate` — throughput/latency under a
+  controlled arrival rate through the :mod:`repro.streaming` pipeline
+  (the service-mode experiment, beyond the paper).
 """
 
 from repro.experiments.config import ExperimentConfig, PolicySpec
@@ -37,6 +40,7 @@ from repro.experiments.method_comparison import (
 from repro.experiments.distance_sweep import distance_sweep, find_optimal_distance
 from repro.experiments.distance_estimation import distance_estimation_table
 from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
+from repro.experiments.streaming_rate import DEFAULT_RATES, rate_sweep_rows
 from repro.experiments.reporting import format_table, rows_to_csv
 
 __all__ = [
@@ -57,6 +61,8 @@ __all__ = [
     "distance_estimation_table",
     "k_invariant_ablation",
     "selection_strategy_ablation",
+    "rate_sweep_rows",
+    "DEFAULT_RATES",
     "format_table",
     "rows_to_csv",
 ]

@@ -8,6 +8,12 @@ Python::
     python -m repro.experiments.cli table1
     python -m repro.experiments.cli ablation-k --dataset traffic
 
+and run the engine as a continuously-ingesting service::
+
+    python -m repro.experiments.cli serve --dataset stocks --rate 5000 \
+        --sink matches.jsonl --checkpoint-dir ckpt --checkpoint-every 10000
+    python -m repro.experiments.cli stream-bench --rates 0,2000,8000
+
 Each sub-command prints the same plain-text tables the benchmark suite
 reports and optionally writes them as CSV.
 """
@@ -15,16 +21,37 @@ reports and optionally writes them as CSV.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 from typing import List, Optional
 
+from repro.engine import AdaptiveCEPEngine
 from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
-from repro.experiments.config import ExperimentConfig
+from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.distance_estimation import distance_estimation_table
 from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, find_optimal_distance
 from repro.experiments.method_comparison import DEFAULT_METHODS, RECOMMENDED_DISTANCE, compare_methods
 from repro.experiments.parallel_scaling import parallel_speedup_rows
 from repro.experiments.reporting import format_table, pivot, rows_to_csv
+from repro.experiments.runner import (
+    build_dataset,
+    build_partitioner,
+    build_planner,
+    build_policy,
+    build_workload,
+)
+from repro.experiments.streaming_rate import DEFAULT_RATES, rate_sweep_rows
+from repro.parallel import ParallelCEPEngine
+from repro.streaming import (
+    CheckpointStore,
+    CSVFileSource,
+    JSONLFileSource,
+    JSONLMatchWriter,
+    MetricsSink,
+    ReplaySource,
+    StreamingPipeline,
+    overflow_policy_by_name,
+)
 
 
 def _add_common_options(parser: argparse.ArgumentParser) -> None:
@@ -173,6 +200,148 @@ def _run_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_pattern(args: argparse.Namespace, workload):
+    """The pattern the service detects."""
+    size = int(args.size)
+    if args.shards > 1 and args.partition_by:
+        return workload.keyed_sequence_pattern(size, key=args.partition_by)
+    return workload.sequence_pattern(size)
+
+
+def _serve_source(args: argparse.Namespace, dataset, workload):
+    """Source factory: ``synthetic`` replay or a JSONL/CSV file (tailable).
+
+    The synthetic stream is only generated (and materialised) when it is
+    actually served; file sources read the file lazily.
+    """
+    rate = args.rate if args.rate > 0 else None
+    if args.source == "synthetic":
+        if args.shards > 1 and args.partition_by:
+            stream = workload.keyed_stream(
+                args.duration,
+                entities=args.entities,
+                key=args.partition_by,
+                max_events=args.max_events,
+            )
+        else:
+            stream = dataset.generate(args.duration, max_events=args.max_events)
+        return ReplaySource(stream, rate=rate)
+    types = {t.name: t for t in dataset.event_types}
+    source_cls = CSVFileSource if args.source.endswith(".csv") else JSONLFileSource
+    return source_cls(
+        args.source,
+        types,
+        follow=args.follow,
+        idle_timeout=args.idle_timeout,
+        rate=rate,
+    )
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    pattern = _serve_pattern(args, workload)
+    spec = PolicySpec("invariant", distance=0.1, label="invariant")
+    if args.shards > 1:
+        engine = ParallelCEPEngine(
+            pattern,
+            build_planner(config.algorithm),
+            build_policy(spec),
+            shards=args.shards,
+            partitioner=build_partitioner(args.partition_by),
+            monitoring_interval=config.monitoring_interval,
+        )
+    else:
+        engine = AdaptiveCEPEngine(
+            pattern,
+            build_planner(config.algorithm),
+            build_policy(spec),
+            monitoring_interval=config.monitoring_interval,
+        )
+
+    metrics_sink = MetricsSink()
+    sinks = [metrics_sink]
+    if args.sink:
+        sinks.append(JSONLMatchWriter(args.sink))
+    store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
+
+    pipeline = StreamingPipeline(
+        engine,
+        _serve_source(args, dataset, workload),
+        sinks=sinks,
+        checkpoint_store=store,
+        checkpoint_every=args.checkpoint_every if store else 0,
+        buffer_capacity=args.buffer_capacity,
+        overflow_policy=overflow_policy_by_name(args.overflow),
+    )
+
+    # Graceful shutdown on Ctrl-C: finish the in-flight event, write a final
+    # checkpoint, flush the sinks.  A second Ctrl-C falls through to the
+    # default handler (hard exit).
+    def _handle_interrupt(signum, frame):
+        print("\nshutting down gracefully (Ctrl-C again to force)...")
+        pipeline.stop()
+        signal.signal(signal.SIGINT, previous_handler)
+
+    previous_handler = signal.signal(signal.SIGINT, _handle_interrupt)
+    try:
+        result = pipeline.run(max_events=args.serve_events)
+    finally:
+        signal.signal(signal.SIGINT, previous_handler)
+
+    print(
+        f"pipeline stopped ({result.stop_reason}): "
+        f"{result.events_processed} events, {result.matches_emitted} matches, "
+        f"{result.throughput:,.0f} ev/s"
+        + (f", resumed from event {result.resumed_from}" if result.resumed_from else "")
+    )
+    print(format_table([result.metrics.as_row()], title="pipeline metrics"))
+    if metrics_sink.per_pattern:
+        print(
+            format_table(
+                [
+                    {"pattern": name, "matches": count}
+                    for name, count in sorted(metrics_sink.per_pattern.items())
+                ],
+                ["pattern", "matches"],
+                title="matches per pattern",
+            )
+        )
+    if args.sink:
+        print(f"matches written to {args.sink}")
+    if store is not None:
+        print(f"checkpoints in {store.directory} ({store.stats()['checkpoints']} kept)")
+    return 0
+
+
+def _run_stream_bench(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    rates = tuple(float(part) for part in args.rates.split(",") if part)
+    rows = rate_sweep_rows(
+        config, rates=rates, size=int(args.size), entities=args.entities
+    )
+    print(
+        format_table(
+            rows,
+            [
+                "rate",
+                "throughput",
+                "engine_ms_mean",
+                "engine_ms_max",
+                "queue_high_water",
+                "matches",
+            ],
+            title=(
+                f"{config.dataset}/{config.algorithm}: pipeline throughput and "
+                f"latency per offered rate (0 = unthrottled)"
+            ),
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    return 0
+
+
 def _run_ablation_k(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     rows = k_invariant_ablation(config, k_values=(1, 2, 4, 0))
@@ -245,6 +414,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="number of distinct partition-key values in the keyed stream",
     )
     parallel.set_defaults(handler=_run_parallel)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the engine as a continuously-ingesting service"
+    )
+    _add_common_options(serve)
+    serve.add_argument(
+        "--size", type=int, default=3, help="pattern size for the served pattern"
+    )
+    serve.add_argument(
+        "--source",
+        type=str,
+        default="synthetic",
+        help="'synthetic' (rate-controlled replay of a generated stream) or "
+        "a path to a .jsonl/.csv event file",
+    )
+    serve.add_argument(
+        "--rate",
+        type=float,
+        default=0.0,
+        help="offered arrival rate in events/second (0 = unthrottled)",
+    )
+    serve.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail a file source for newly appended events (like tail -f)",
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=2.0,
+        help="stop a --follow tail after this many idle seconds",
+    )
+    serve.add_argument(
+        "--sink", type=str, default=None, help="write matches to this JSONL file"
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        type=str,
+        default=None,
+        help="enable fault tolerance: checkpoint directory (resumes if non-empty)",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=10000,
+        help="events between checkpoints (with --checkpoint-dir)",
+    )
+    serve.add_argument(
+        "--buffer-capacity", type=int, default=1024, help="staging buffer capacity"
+    )
+    serve.add_argument(
+        "--overflow",
+        choices=("backpressure", "drop-newest", "drop-oldest"),
+        default="backpressure",
+        help="policy when the staging buffer is full",
+    )
+    serve.add_argument(
+        "--entities",
+        type=int,
+        default=8,
+        help="distinct partition-key values in the keyed synthetic stream",
+    )
+    serve.add_argument(
+        "--serve-events",
+        type=int,
+        default=None,
+        help="stop after processing this many events (default: run the source dry)",
+    )
+    serve.set_defaults(handler=_run_serve)
+
+    stream_bench = subparsers.add_parser(
+        "stream-bench", help="pipeline throughput/latency under offered arrival rates"
+    )
+    _add_common_options(stream_bench)
+    stream_bench.add_argument(
+        "--size", type=int, default=3, help="pattern size for the benchmark pattern"
+    )
+    stream_bench.add_argument(
+        "--rates",
+        type=str,
+        default=",".join(str(rate) for rate in DEFAULT_RATES),
+        help="comma-separated offered rates in events/second (0 = unthrottled)",
+    )
+    stream_bench.add_argument(
+        "--entities",
+        type=int,
+        default=8,
+        help="distinct partition-key values in the keyed stream (with --partition-by)",
+    )
+    stream_bench.set_defaults(handler=_run_stream_bench)
 
     ablation_k = subparsers.add_parser("ablation-k", help="K-invariant ablation")
     _add_common_options(ablation_k)

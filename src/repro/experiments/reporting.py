@@ -7,7 +7,7 @@ the same rows/series as the paper's figures and tables.
 from __future__ import annotations
 
 import io
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 
 def _format_value(value: object, precision: int) -> str:

@@ -1,0 +1,123 @@
+"""Throughput and latency under a controlled arrival rate.
+
+The streaming experiment the batch drivers cannot run: feed one recorded
+workload through the :class:`~repro.streaming.StreamingPipeline` at a
+sweep of offered arrival rates and report, per rate, the achieved
+throughput, the per-event engine latency (mean and worst case), the
+staging-queue high-water mark and the match count.  At offered rates below
+engine capacity the pipeline keeps up (achieved ≈ offered, queue shallow);
+past capacity the source can no longer be paced and the latency/queue
+columns show where the service saturates.
+
+Rate ``0`` means *unthrottled* — the replay is pulled as fast as the
+engine drains it, so that row doubles as the capacity measurement the
+other rows are compared against.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine import AdaptiveCEPEngine
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import (
+    build_dataset,
+    build_partitioner,
+    build_planner,
+    build_policy,
+    build_workload,
+)
+from repro.parallel import ParallelCEPEngine
+from repro.streaming import CollectorSink, ReplaySource, StreamingPipeline
+
+#: Offered arrival rates (events/second); 0 = unthrottled capacity probe.
+DEFAULT_RATES = (0.0, 2000.0, 8000.0, 32000.0)
+
+
+def _build_streaming_engine(
+    config: ExperimentConfig, pattern, spec: PolicySpec
+):
+    """A fresh engine in streaming mode, sharded when the config asks for it."""
+    planner = build_planner(config.algorithm)
+    policy = build_policy(spec)
+    if config.shards > 1:
+        return ParallelCEPEngine(
+            pattern,
+            planner,
+            policy,
+            shards=config.shards,
+            partitioner=build_partitioner(config.partition_by),
+            monitoring_interval=config.monitoring_interval,
+        )
+    return AdaptiveCEPEngine(
+        pattern,
+        planner,
+        policy,
+        monitoring_interval=config.monitoring_interval,
+    )
+
+
+def rate_sweep_rows(
+    config: ExperimentConfig,
+    rates: Sequence[float] = DEFAULT_RATES,
+    size: int = 3,
+    entities: int = 8,
+    policy_spec: Optional[PolicySpec] = None,
+) -> List[Dict[str, float]]:
+    """One row per offered rate: achieved throughput, latency, queue depth.
+
+    The workload is the keyed multi-entity stream when the config names a
+    partition key (so sharded configs detect losslessly), the plain dataset
+    stream otherwise; every rate replays the *same* recorded events, so the
+    ``matches`` column must be constant down the table — a built-in
+    correctness check, like the match columns of the batch experiments.
+    """
+    spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    if config.partition_by:
+        pattern, stream = workload.keyed_workload(
+            size,
+            duration=config.duration,
+            entities=entities,
+            key=config.partition_by,
+            seed=config.stream_seed,
+            max_events=config.max_events,
+        )
+    else:
+        pattern = workload.sequence_pattern(size)
+        stream = dataset.generate(
+            duration=config.duration,
+            seed=config.stream_seed,
+            max_events=config.max_events,
+        )
+    events = stream.to_list()
+
+    rows: List[Dict[str, float]] = []
+    for rate in rates:
+        engine = _build_streaming_engine(config, pattern, spec)
+        collector = CollectorSink()
+        pipeline = StreamingPipeline(
+            engine,
+            ReplaySource(events, rate=rate or None),
+            sinks=[collector],
+            buffer_capacity=max(config.batch_size, 1),
+        )
+        result = pipeline.run()
+        metrics = result.metrics
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "algorithm": config.algorithm,
+                "size": size,
+                "shards": config.shards,
+                "rate": rate,
+                "throughput": result.throughput,
+                "matches": float(len(collector.matches)),
+                "engine_ms_mean": metrics.engine.mean_seconds * 1e3,
+                "engine_ms_max": metrics.engine.max_seconds * 1e3,
+                "queue_high_water": float(metrics.queue_high_water),
+                "shed": float(metrics.events_shed),
+            }
+        )
+    return rows

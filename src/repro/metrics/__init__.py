@@ -1,5 +1,12 @@
 """Performance metrics collected by the experiment harness."""
 
 from repro.metrics.run_metrics import RunMetrics, ThroughputTimer, aggregate_metrics
+from repro.metrics.stage_metrics import PipelineMetrics, StageTiming
 
-__all__ = ["RunMetrics", "ThroughputTimer", "aggregate_metrics"]
+__all__ = [
+    "RunMetrics",
+    "ThroughputTimer",
+    "aggregate_metrics",
+    "PipelineMetrics",
+    "StageTiming",
+]

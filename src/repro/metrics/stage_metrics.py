@@ -1,0 +1,110 @@
+"""Per-stage metrics of the streaming pipeline.
+
+The streaming runtime (:mod:`repro.streaming`) is a staged dataflow —
+``source → buffer → engine → sinks`` — and each stage is instrumented
+separately so an operator can see *where* a slow pipeline spends its time:
+a source-bound pipeline (waiting on rate limiting or file tailing) looks
+completely different from an engine-bound one, and a growing queue depth is
+the early warning sign of sustained overload.
+
+:class:`StageTiming` is a tiny streaming aggregator (count / total / max)
+rather than a histogram: it costs two floats per observation, which matters
+on the per-event hot path, while still answering the questions the
+experiments report (mean and worst-case stage latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class StageTiming:
+    """Streaming latency aggregate for one pipeline stage."""
+
+    observations: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def observe(self, seconds: float) -> None:
+        self.observations += 1
+        self.total_seconds += seconds
+        if seconds > self.max_seconds:
+            self.max_seconds = seconds
+
+    @property
+    def mean_seconds(self) -> float:
+        if self.observations == 0:
+            return 0.0
+        return self.total_seconds / self.observations
+
+    def merge(self, other: "StageTiming") -> "StageTiming":
+        return StageTiming(
+            observations=self.observations + other.observations,
+            total_seconds=self.total_seconds + other.total_seconds,
+            max_seconds=max(self.max_seconds, other.max_seconds),
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"StageTiming(n={self.observations}, "
+            f"mean={self.mean_seconds * 1e3:.3f}ms, "
+            f"max={self.max_seconds * 1e3:.3f}ms)"
+        )
+
+
+@dataclass
+class PipelineMetrics:
+    """Counters and per-stage timings of one pipeline run.
+
+    ``source`` measures time spent pulling events (including any rate-limit
+    sleeps and file-tail polling), ``engine`` the per-event detection work,
+    ``sink`` the per-event match emission, and ``checkpoint`` each state
+    snapshot.  Queue metrics describe the staging buffer between the source
+    and the engine.
+    """
+
+    source: StageTiming = field(default_factory=StageTiming)
+    engine: StageTiming = field(default_factory=StageTiming)
+    sink: StageTiming = field(default_factory=StageTiming)
+    checkpoint: StageTiming = field(default_factory=StageTiming)
+    events_ingested: int = 0
+    events_processed: int = 0
+    events_shed: int = 0
+    matches_emitted: int = 0
+    checkpoints_written: int = 0
+    queue_high_water: int = 0
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    @property
+    def shed_fraction(self) -> float:
+        if self.events_ingested == 0:
+            return 0.0
+        return self.events_shed / self.events_ingested
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary representation used by report tables."""
+        return {
+            "events": float(self.events_processed),
+            "matches": float(self.matches_emitted),
+            "shed": float(self.events_shed),
+            "shed_fraction": self.shed_fraction,
+            "queue_high_water": float(self.queue_high_water),
+            "checkpoints": float(self.checkpoints_written),
+            "source_ms_mean": self.source.mean_seconds * 1e3,
+            "engine_ms_mean": self.engine.mean_seconds * 1e3,
+            "engine_ms_max": self.engine.max_seconds * 1e3,
+            "sink_ms_mean": self.sink.mean_seconds * 1e3,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineMetrics(processed={self.events_processed}, "
+            f"matches={self.matches_emitted}, shed={self.events_shed}, "
+            f"queue_hw={self.queue_high_water}, "
+            f"engine={self.engine!r})"
+        )

@@ -14,7 +14,7 @@ invariants without knowing anything about the algorithm's internals
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.errors import OptimizerError
 from repro.optimizer.terms import StatExpression

@@ -33,7 +33,8 @@ import time
 from typing import Iterable, Optional, Union
 
 from repro.adaptive import ReoptimizationPolicy
-from repro.engine import RunResult
+from repro.engine import Match, RunResult
+from repro.errors import ParallelExecutionError
 from repro.events import Event, EventStream
 from repro.optimizer import PlanGenerator
 from repro.parallel.batching import DEFAULT_BATCH_SIZE, EventBatch, batched
@@ -42,7 +43,12 @@ from repro.parallel.executor import (
     SerialExecutor,
     ShardExecutor,
 )
-from repro.parallel.merger import match_signature, merge_matches, merge_outputs
+from repro.parallel.merger import (
+    StreamingMatchDeduplicator,
+    match_signature,
+    merge_matches,
+    merge_outputs,
+)
 from repro.parallel.partitioner import (
     BroadcastPartitioner,
     KeyPartitioner,
@@ -110,6 +116,9 @@ class ParallelCEPEngine:
             initial_snapshot=initial_snapshot,
             monitoring_interval=monitoring_interval,
         )
+        # Lazily created on first process() call (streaming ingestion).
+        self._streaming_dedup: Optional[StreamingMatchDeduplicator] = None
+        self._batch_run_started = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -131,11 +140,73 @@ class ParallelCEPEngine:
         return self._sharded
 
     # ------------------------------------------------------------------
+    # Event-at-a-time API (streaming ingestion)
+    # ------------------------------------------------------------------
+    def process(self, event: Event) -> "list[Match]":
+        """Route one event through the partitioner and evaluate it now.
+
+        The streaming counterpart of :meth:`run`: events flow through the
+        partitioner to the shard replicas *as they arrive* instead of being
+        buffered for a whole-stream split, and matches are returned
+        immediately.  Replicating partitioners (broadcast) make every shard
+        report the same detections, so an online deduplicator — with memory
+        bounded by the pattern window — suppresses repeats before they
+        reach the caller.
+
+        Runs the shards in-process (the streaming pipeline's single-writer
+        loop); the pluggable executor only applies to the batch :meth:`run`
+        path.  Do not interleave with :meth:`run` on the same instance.
+        """
+        if self._batch_run_started:
+            raise ParallelExecutionError(
+                "this ParallelCEPEngine already ran in batch mode; create a "
+                "fresh engine for streaming ingestion"
+            )
+        if self._streaming_dedup is None:
+            self._streaming_dedup = StreamingMatchDeduplicator(
+                window=self.pattern.window
+                if self.pattern.window != float("inf")
+                else 100.0
+            )
+        matches = self._sharded.process_event(event, self._partitioner)
+        if not matches:
+            return []
+        return self._streaming_dedup.filter(matches, now=event.timestamp)
+
+    # ------------------------------------------------------------------
+    # State snapshot / restore (checkpointing support)
+    # ------------------------------------------------------------------
+    def snapshot_state(self) -> bytes:
+        """Serialize every shard replica plus the partitioner/deduplication
+        state; see :func:`repro.engine.state.snapshot_engine`."""
+        from repro.engine.state import snapshot_engine
+
+        return snapshot_engine(self)
+
+    @classmethod
+    def restore_state(cls, blob: bytes) -> "ParallelCEPEngine":
+        """Rebuild a sharded engine from a :meth:`snapshot_state` blob."""
+        from repro.engine.state import restore_engine
+
+        engine = restore_engine(blob)
+        if not isinstance(engine, cls):
+            raise ParallelExecutionError(
+                f"snapshot holds a {type(engine).__name__}, not a {cls.__name__}"
+            )
+        return engine
+
+    # ------------------------------------------------------------------
     # Whole-stream API
     # ------------------------------------------------------------------
     def run(self, stream: "EventStream | Iterable[Event]") -> RunResult:
         """Partition, execute and merge: the sharded counterpart of
         :meth:`AdaptiveCEPEngine.run`."""
+        if self._streaming_dedup is not None:
+            raise ParallelExecutionError(
+                "this ParallelCEPEngine is already ingesting in streaming "
+                "mode; create a fresh engine for a batch run"
+            )
+        self._batch_run_started = True
         started = time.perf_counter()
         ingested = self._sharded.dispatch(
             stream, self._partitioner, batch_size=self._batch_size
@@ -178,4 +249,5 @@ __all__ = [
     "match_signature",
     "merge_matches",
     "merge_outputs",
+    "StreamingMatchDeduplicator",
 ]

@@ -69,6 +69,55 @@ def merge_matches(outputs: Sequence[ShardOutput]) -> Tuple[List[Match], int]:
     return merged, len(collected) - len(merged)
 
 
+class StreamingMatchDeduplicator:
+    """Online duplicate suppression for streaming (event-at-a-time) sharding.
+
+    When events are fed incrementally through a broadcast partitioner, every
+    shard reports the same detections; this filter admits the first report
+    of each match signature and drops the rest.  Seen signatures are evicted
+    once they fall a pattern window behind the stream clock — a match whose
+    events have all expired can never be re-reported, so the memory of the
+    filter is bounded by the window like the engines' own partial-match
+    state.
+    """
+
+    def __init__(self, window: float):
+        if window <= 0:
+            raise ValueError(f"deduplication window must be positive, got {window!r}")
+        self.window = float(window)
+        self._seen: "dict[Tuple, float]" = {}
+        self._last_eviction = float("-inf")
+        self.duplicates_dropped = 0
+
+    def filter(self, matches: Sequence[Match], now: float) -> List[Match]:
+        """Admit first-seen matches; ``now`` is the current stream time."""
+        # Evict at most once per window of stream time: a full-dict sweep per
+        # event would turn the hot path quadratic.
+        if self._seen and now - self._last_eviction >= self.window:
+            horizon = now - self.window
+            self._seen = {
+                signature: seen_at
+                for signature, seen_at in self._seen.items()
+                if seen_at >= horizon
+            }
+            self._last_eviction = now
+        admitted: List[Match] = []
+        for match in matches:
+            signature = match_signature(match)
+            if signature in self._seen:
+                self.duplicates_dropped += 1
+                continue
+            self._seen[signature] = match.detection_time
+            admitted.append(match)
+        return admitted
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingMatchDeduplicator window={self.window:g} "
+            f"tracked={len(self._seen)} dropped={self.duplicates_dropped}>"
+        )
+
+
 def merge_outputs(
     outputs: Sequence[ShardOutput],
     events_ingested: int,

@@ -139,6 +139,22 @@ class ShardedEngine:
     def shards(self) -> List[Shard]:
         return list(self._shards)
 
+    def process_event(self, event: Event, partitioner: Partitioner) -> List[Match]:
+        """Streaming ingestion: route one event and evaluate it immediately.
+
+        The incremental counterpart of :meth:`dispatch` + execute — used by
+        the streaming pipeline, where events arrive one at a time and
+        matches must be emitted as they are found rather than at
+        end-of-stream.  Each routed shard's replica processes the event
+        in-process; the caller is responsible for cross-shard deduplication
+        (see :class:`~repro.parallel.merger.StreamingMatchDeduplicator`)
+        when the partitioner replicates events.
+        """
+        matches: List[Match] = []
+        for shard_id in partitioner.route(event, self._num_shards):
+            matches.extend(self._shards[shard_id].engine.process(event))
+        return matches
+
     def dispatch(
         self,
         stream: "EventStream | List[Event]",

@@ -12,7 +12,7 @@ matches are unioned.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.conditions import Condition, ConditionSet, TrueCondition

@@ -1,0 +1,104 @@
+"""Streaming I/O and long-running service runtime.
+
+Turns the batch-oriented engines into a deployable pipeline over unbounded
+streams::
+
+    from repro.streaming import (
+        StreamingPipeline, ReplaySource, JSONLMatchWriter, CheckpointStore,
+    )
+
+    pipeline = StreamingPipeline(
+        engine,                               # AdaptiveCEPEngine / Parallel…
+        ReplaySource(recorded, rate=5000.0),  # or a JSONL/CSV file tail
+        sinks=[JSONLMatchWriter("matches.jsonl")],
+        checkpoint_store=CheckpointStore("ckpt/"),
+        checkpoint_every=10_000,
+    )
+    result = pipeline.run()                   # resumes from ckpt/ if present
+
+The building blocks:
+
+* **sources** (:mod:`~repro.streaming.sources`) — lazy, single-pass event
+  producers: rate-controlled replay, JSONL/CSV file tailing, iterable and
+  callback adapters;
+* **sinks** (:mod:`~repro.streaming.sinks`) — match consumers with
+  checkpointable positions: JSONL writer, in-memory collector, counters;
+* **buffering** (:mod:`~repro.streaming.buffer`) — a bounded staging
+  buffer with backpressure and load-shedding overflow policies;
+* **checkpointing** (:mod:`~repro.streaming.checkpoint`) — atomic
+  snapshots of engine state + source offset + sink positions, giving
+  kill/resume with no lost and no duplicated matches;
+* **the pipeline** (:mod:`~repro.streaming.pipeline`) — the run loop
+  wiring it all together, with per-stage latency/queue metrics and
+  graceful shutdown.
+
+The CLI front-end is ``python -m repro.experiments.cli serve``.
+"""
+
+from repro.streaming.buffer import (
+    Backpressure,
+    BoundedBuffer,
+    DropNewest,
+    DropOldest,
+    OverflowPolicy,
+    overflow_policy_by_name,
+)
+from repro.streaming.checkpoint import Checkpoint, CheckpointStore
+from repro.streaming.pipeline import (
+    DEFAULT_FILL_CHUNK,
+    PipelineResult,
+    StreamingPipeline,
+)
+from repro.streaming.sinks import (
+    CollectorSink,
+    JSONLMatchWriter,
+    MatchSink,
+    MetricsSink,
+    match_record,
+)
+from repro.streaming.sources import (
+    CallbackSource,
+    CSVFileSource,
+    EventSource,
+    IterableSource,
+    JSONLFileSource,
+    RateLimiter,
+    ReplaySource,
+    event_record,
+    write_events_csv,
+    write_events_jsonl,
+)
+
+__all__ = [
+    # pipeline
+    "StreamingPipeline",
+    "PipelineResult",
+    "DEFAULT_FILL_CHUNK",
+    # sources
+    "EventSource",
+    "IterableSource",
+    "CallbackSource",
+    "ReplaySource",
+    "JSONLFileSource",
+    "CSVFileSource",
+    "RateLimiter",
+    "event_record",
+    "write_events_jsonl",
+    "write_events_csv",
+    # sinks
+    "MatchSink",
+    "CollectorSink",
+    "JSONLMatchWriter",
+    "MetricsSink",
+    "match_record",
+    # buffering
+    "BoundedBuffer",
+    "OverflowPolicy",
+    "Backpressure",
+    "DropNewest",
+    "DropOldest",
+    "overflow_policy_by_name",
+    # checkpointing
+    "Checkpoint",
+    "CheckpointStore",
+]

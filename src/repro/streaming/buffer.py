@@ -1,0 +1,165 @@
+"""Bounded staging buffer and overflow policies.
+
+The pipeline stages events between the source and the engine in a bounded
+buffer.  What happens when the buffer is full is the pipeline's overload
+policy:
+
+* :class:`Backpressure` — refuse the event; the *caller* must slow down.
+  In the pull-driven :meth:`~repro.streaming.StreamingPipeline.run` loop
+  this can't trigger (the pipeline simply stops pulling), but push-style
+  ingestion via :meth:`~repro.streaming.StreamingPipeline.submit` surfaces
+  it as a ``False`` return the producer must honour.
+* :class:`DropNewest` — shed the incoming event (keep the oldest backlog;
+  matches already half-built stay completable).
+* :class:`DropOldest` — evict the oldest buffered event to admit the new
+  one (keep the freshest data; the policy of latency-sensitive services).
+
+Shedding trades recall for bounded memory and latency: drop policies keep
+the service alive under sustained overload at the cost of possibly missing
+matches involving dropped events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional
+
+from repro.errors import StreamingError
+from repro.events import Event
+
+
+class OverflowPolicy:
+    """Decides the fate of an event offered to a full buffer."""
+
+    name: str = "overflow-policy"
+
+    def on_full(self, buffer: "BoundedBuffer", event: Event) -> bool:
+        """Handle an event that does not fit; return ``True`` iff admitted."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class Backpressure(OverflowPolicy):
+    """Refuse the event and make the producer wait (no loss)."""
+
+    name = "backpressure"
+
+    def on_full(self, buffer: "BoundedBuffer", event: Event) -> bool:
+        return False
+
+
+class DropNewest(OverflowPolicy):
+    """Shed the incoming event (the oldest backlog is preserved)."""
+
+    name = "drop-newest"
+
+    def on_full(self, buffer: "BoundedBuffer", event: Event) -> bool:
+        buffer.events_shed += 1
+        return True  # "handled": the event is consumed, just not buffered
+
+
+class DropOldest(OverflowPolicy):
+    """Evict the oldest buffered event to make room (freshest data wins)."""
+
+    name = "drop-oldest"
+
+    def on_full(self, buffer: "BoundedBuffer", event: Event) -> bool:
+        buffer.evict_oldest()
+        buffer.force_append(event)
+        return True
+
+
+def overflow_policy_by_name(name: str) -> OverflowPolicy:
+    """Factory used by the CLI (``backpressure``/``drop-newest``/``drop-oldest``)."""
+    policies = {
+        Backpressure.name: Backpressure,
+        DropNewest.name: DropNewest,
+        DropOldest.name: DropOldest,
+    }
+    try:
+        return policies[name]()
+    except KeyError:
+        raise StreamingError(
+            f"unknown overflow policy {name!r}; expected one of {sorted(policies)}"
+        ) from None
+
+
+class BoundedBuffer:
+    """A FIFO of events with a hard capacity and an overflow policy."""
+
+    def __init__(self, capacity: int, policy: Optional[OverflowPolicy] = None):
+        if capacity < 1:
+            raise StreamingError(f"buffer capacity must be positive, got {capacity!r}")
+        self.capacity = int(capacity)
+        self.policy = policy or Backpressure()
+        self._events: Deque[Event] = deque()
+        self.events_shed = 0
+        self.high_water = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def depth(self) -> int:
+        return len(self._events)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self._events)
+
+    @property
+    def full(self) -> bool:
+        return len(self._events) >= self.capacity
+
+    # ------------------------------------------------------------------
+    # Admission and draining
+    # ------------------------------------------------------------------
+    def offer(self, event: Event) -> bool:
+        """Try to admit one event.
+
+        Returns ``True`` when the event was *consumed* (buffered, or shed by
+        a drop policy) and ``False`` when the producer must back off and
+        retry (the :class:`Backpressure` policy).
+        """
+        if len(self._events) < self.capacity:
+            self._events.append(event)
+            if len(self._events) > self.high_water:
+                self.high_water = len(self._events)
+            return True
+        return self.policy.on_full(self, event)
+
+    def force_append(self, event: Event) -> None:
+        """Append unconditionally (used by eviction policies after making room)."""
+        self._events.append(event)
+
+    def evict_oldest(self) -> Event:
+        if not self._events:
+            raise StreamingError("cannot evict from an empty buffer")
+        self.events_shed += 1
+        return self._events.popleft()
+
+    def pop(self) -> Event:
+        """Remove and return the oldest buffered event."""
+        if not self._events:
+            raise StreamingError("cannot pop from an empty buffer")
+        return self._events.popleft()
+
+    def drain(self) -> Iterator[Event]:
+        """Yield buffered events oldest-first until the buffer is empty."""
+        while self._events:
+            yield self._events.popleft()
+
+    def snapshot_events(self) -> List[Event]:
+        """The buffered events, oldest first (without consuming them)."""
+        return list(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"<BoundedBuffer {len(self._events)}/{self.capacity} "
+            f"policy={self.policy.name} shed={self.events_shed}>"
+        )

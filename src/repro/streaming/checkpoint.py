@@ -1,0 +1,180 @@
+"""Durable pipeline checkpoints.
+
+A checkpoint captures a consistent cut of the pipeline at an event
+boundary: the number of source records consumed, the serialized engine
+state (open partial matches, statistics, adaptation state — see
+:mod:`repro.engine.state`) and each sink's position marker.  A resumed
+pipeline restores all three and asks the source to skip the consumed
+prefix, so a kill between checkpoints costs only the re-processing of the
+post-checkpoint suffix — never lost or duplicated matches.
+
+Checkpoints are written atomically (temp file + ``os.replace``) into a
+directory, newest-last by a monotonically increasing index; the store
+keeps the most recent ``keep`` files so a torn write of the newest
+checkpoint still leaves a valid predecessor to fall back to.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import re
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckpointError
+
+_CHECKPOINT_PATTERN = re.compile(r"^checkpoint-(\d{9})\.pkl$")
+
+
+@dataclass
+class Checkpoint:
+    """A consistent pipeline snapshot at an event boundary."""
+
+    events_processed: int
+    matches_emitted: int
+    engine_blob: bytes
+    sink_states: List[Any] = field(default_factory=list)
+    pattern_name: str = ""
+    created_at: float = 0.0
+    index: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"checkpoint #{self.index}: {self.events_processed} events, "
+            f"{self.matches_emitted} matches, "
+            f"{len(self.engine_blob)} state bytes"
+        )
+
+
+class CheckpointStore:
+    """Directory-backed checkpoint persistence.
+
+    Parameters
+    ----------
+    directory:
+        Where checkpoint files live; created on first save.
+    keep:
+        How many most-recent checkpoints to retain (older ones are pruned
+        after each successful save).
+    """
+
+    def __init__(self, directory: str, keep: int = 2):
+        if keep < 1:
+            raise CheckpointError(f"keep must be positive, got {keep!r}")
+        self.directory = directory
+        self.keep = int(keep)
+
+    # ------------------------------------------------------------------
+    # Listing
+    # ------------------------------------------------------------------
+    def _indices(self) -> List[int]:
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return []
+        indices = []
+        for name in names:
+            matched = _CHECKPOINT_PATTERN.match(name)
+            if matched:
+                indices.append(int(matched.group(1)))
+        return sorted(indices)
+
+    def _path(self, index: int) -> str:
+        return os.path.join(self.directory, f"checkpoint-{index:09d}.pkl")
+
+    def latest_index(self) -> Optional[int]:
+        indices = self._indices()
+        return indices[-1] if indices else None
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    def save(self, checkpoint: Checkpoint) -> str:
+        """Atomically persist a checkpoint; returns the file path."""
+        os.makedirs(self.directory, exist_ok=True)
+        latest = self.latest_index()
+        checkpoint.index = 0 if latest is None else latest + 1
+        checkpoint.created_at = time.time()
+        path = self._path(checkpoint.index)
+        descriptor, temp_path = tempfile.mkstemp(
+            dir=self.directory, prefix=".checkpoint-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(descriptor, "wb") as handle:
+                pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_path, path)
+        except Exception as exc:
+            try:
+                os.unlink(temp_path)
+            except OSError:
+                pass
+            raise CheckpointError(f"failed to write checkpoint: {exc}") from exc
+        self._prune()
+        return path
+
+    def load(self, index: int) -> Checkpoint:
+        path = self._path(index)
+        try:
+            with open(path, "rb") as handle:
+                checkpoint = pickle.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(f"no checkpoint #{index} in {self.directory!r}") from None
+        except Exception as exc:
+            raise CheckpointError(f"corrupt checkpoint {path!r}: {exc}") from exc
+        if not isinstance(checkpoint, Checkpoint):
+            raise CheckpointError(
+                f"{path!r} does not contain a Checkpoint "
+                f"(got {type(checkpoint).__name__})"
+            )
+        return checkpoint
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent *readable* checkpoint, or ``None``.
+
+        Falls back to older checkpoints when the newest is corrupt (e.g. the
+        process died mid-``os.replace`` on a non-atomic filesystem).
+        """
+        last_error: Optional[CheckpointError] = None
+        for index in reversed(self._indices()):
+            try:
+                return self.load(index)
+            except CheckpointError as exc:
+                last_error = exc
+        if last_error is not None:
+            raise last_error
+        return None
+
+    def clear(self) -> int:
+        """Delete every checkpoint; returns how many were removed."""
+        removed = 0
+        for index in self._indices():
+            try:
+                os.unlink(self._path(index))
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def _prune(self) -> None:
+        indices = self._indices()
+        for index in indices[: -self.keep]:
+            try:
+                os.unlink(self._path(index))
+            except OSError:
+                pass
+
+    def stats(self) -> Dict[str, Any]:
+        indices = self._indices()
+        return {
+            "directory": self.directory,
+            "checkpoints": len(indices),
+            "latest_index": indices[-1] if indices else None,
+        }
+
+    def __repr__(self) -> str:
+        return f"<CheckpointStore {self.directory!r} keep={self.keep}>"

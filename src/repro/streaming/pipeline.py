@@ -1,0 +1,422 @@
+"""The streaming pipeline runtime.
+
+:class:`StreamingPipeline` wires ``source → engine → sinks`` into a
+long-running, incrementally-fed service:
+
+* events are staged through a :class:`~repro.streaming.buffer.BoundedBuffer`
+  whose overflow policy decides between backpressure and load shedding;
+* the engine is fed event-at-a-time (the paper's detection–adaptation loop
+  is untouched — the pipeline only changes *how events arrive*, never how
+  they are evaluated), so a pipeline over a recorded stream produces
+  exactly the matches of a batch :meth:`~repro.engine.AdaptiveCEPEngine.run`;
+* matches are delivered to every sink as they are emitted;
+* with a :class:`~repro.streaming.checkpoint.CheckpointStore`, the engine
+  state, source offset and sink positions are snapshotted every
+  ``checkpoint_every`` events, and a new pipeline pointed at the same
+  store resumes from the latest checkpoint — re-processing only the
+  post-checkpoint suffix, with sinks rolled back so nothing is lost or
+  duplicated;
+* :meth:`~StreamingPipeline.stop` requests a graceful shutdown: the loop
+  finishes the in-flight event, writes a final checkpoint and flushes the
+  sinks.
+
+Two ingestion styles are supported: the pull-driven :meth:`run` loop
+(sources) and the push-style :meth:`submit` / :meth:`drain` pair (for
+callers that receive events from elsewhere and cannot be pulled from).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.engine import Match
+from repro.engine.state import restore_engine, snapshot_engine
+from repro.errors import CheckpointError, StreamingError
+from repro.events import Event, EventStream
+from repro.metrics import PipelineMetrics
+from repro.streaming.buffer import BoundedBuffer, OverflowPolicy
+from repro.streaming.checkpoint import Checkpoint, CheckpointStore
+from repro.streaming.sinks import MatchSink
+from repro.streaming.sources import EventSource, IterableSource
+
+#: How many events one fill phase pulls at most (bounds per-iteration latency).
+DEFAULT_FILL_CHUNK = 256
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one :meth:`StreamingPipeline.run` invocation."""
+
+    events_processed: int
+    matches_emitted: int
+    duration_seconds: float
+    metrics: PipelineMetrics
+    stop_reason: str = "source-exhausted"
+    resumed_from: int = 0
+    total_events_processed: int = 0
+    total_matches_emitted: int = 0
+    plan_history: List[str] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        """Events processed per wall-clock second of this run."""
+        if self.duration_seconds <= 0:
+            return 0.0
+        return self.events_processed / self.duration_seconds
+
+    def __repr__(self) -> str:
+        return (
+            f"PipelineResult(events={self.events_processed}, "
+            f"matches={self.matches_emitted}, "
+            f"throughput={self.throughput:,.0f} ev/s, "
+            f"stop={self.stop_reason!r}, resumed_from={self.resumed_from})"
+        )
+
+
+class StreamingPipeline:
+    """A deployable detection pipeline over one engine.
+
+    Parameters
+    ----------
+    engine:
+        Any engine exposing ``process(event) -> List[Match]`` — the
+        sequential :class:`~repro.engine.AdaptiveCEPEngine`, the
+        :class:`~repro.engine.MultiPatternEngine`, or the sharded
+        :class:`~repro.parallel.ParallelCEPEngine` in streaming mode.
+    source:
+        An :class:`~repro.streaming.sources.EventSource`, any
+        :class:`~repro.events.EventStream`, or a plain iterable of events
+        (wrapped into an :class:`IterableSource` automatically).
+    sinks:
+        Zero or more :class:`~repro.streaming.sinks.MatchSink` objects.
+    checkpoint_store / checkpoint_every:
+        Enable fault tolerance: snapshot the pipeline every
+        ``checkpoint_every`` processed events into the store.  ``run`` then
+        resumes from the latest checkpoint unless told otherwise.
+    buffer_capacity / overflow_policy:
+        The staging buffer between source and engine; the policy decides
+        between backpressure and load shedding when it is full (only
+        reachable through push-style :meth:`submit` — the pull loop stops
+        pulling instead).
+    """
+
+    def __init__(
+        self,
+        engine,
+        source: "EventSource | EventStream | Iterable[Event]",
+        sinks: Sequence[MatchSink] = (),
+        checkpoint_store: Optional[CheckpointStore] = None,
+        checkpoint_every: int = 0,
+        buffer_capacity: int = 1024,
+        overflow_policy: Optional[OverflowPolicy] = None,
+        fill_chunk: int = DEFAULT_FILL_CHUNK,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        if not callable(getattr(engine, "process", None)):
+            raise StreamingError(
+                f"engine {type(engine).__name__} has no process() method"
+            )
+        if checkpoint_every < 0:
+            raise StreamingError(
+                f"checkpoint_every must be non-negative, got {checkpoint_every!r}"
+            )
+        if checkpoint_every and checkpoint_store is None:
+            raise StreamingError(
+                "checkpoint_every requires a checkpoint_store"
+            )
+        if fill_chunk < 1:
+            raise StreamingError(f"fill_chunk must be positive, got {fill_chunk!r}")
+        self._engine = engine
+        self._source = (
+            source if isinstance(source, EventSource) else IterableSource(source)
+        )
+        self._sinks: List[MatchSink] = list(sinks)
+        self._store = checkpoint_store
+        self._checkpoint_every = int(checkpoint_every)
+        self._buffer = BoundedBuffer(buffer_capacity, overflow_policy)
+        self._fill_chunk = int(fill_chunk)
+        self._clock = clock
+
+        self.metrics = PipelineMetrics()
+        self._events_processed_total = 0
+        self._matches_emitted_total = 0
+        self._events_at_last_checkpoint = 0
+        self._stop_requested = False
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def engine(self):
+        """The live engine (replaced by the restored one after a resume)."""
+        return self._engine
+
+    @property
+    def source(self) -> EventSource:
+        return self._source
+
+    @property
+    def sinks(self) -> List[MatchSink]:
+        return list(self._sinks)
+
+    @property
+    def buffer(self) -> BoundedBuffer:
+        return self._buffer
+
+    @property
+    def events_processed(self) -> int:
+        """Total events processed, including any resumed prefix."""
+        return self._events_processed_total
+
+    @property
+    def matches_emitted(self) -> int:
+        return self._matches_emitted_total
+
+    # ------------------------------------------------------------------
+    # Graceful shutdown
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """Request a graceful stop.
+
+        Safe to call from a signal handler or another thread: the run loop
+        finishes the event in flight, writes a final checkpoint and flushes
+        the sinks before returning.  A tailing (``follow=True``) file source
+        is told to stop following, so a loop blocked on an EOF poll wakes at
+        the next poll interval instead of waiting out its idle timeout.
+        """
+        self._stop_requested = True
+        stop_following = getattr(self._source, "stop_following", None)
+        if callable(stop_following):
+            stop_following()
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _restore_from(self, checkpoint: Checkpoint) -> None:
+        pattern = getattr(self._engine, "pattern", None)
+        pattern_name = getattr(pattern, "name", "")
+        if (
+            checkpoint.pattern_name
+            and pattern_name
+            and checkpoint.pattern_name != pattern_name
+        ):
+            raise CheckpointError(
+                f"checkpoint belongs to pattern {checkpoint.pattern_name!r} "
+                f"but this pipeline runs {pattern_name!r}; clear the store "
+                "or point it elsewhere"
+            )
+        self._engine = restore_engine(checkpoint.engine_blob)
+        self._events_processed_total = checkpoint.events_processed
+        self._matches_emitted_total = checkpoint.matches_emitted
+        self._events_at_last_checkpoint = checkpoint.events_processed
+        if checkpoint.sink_states:
+            if len(checkpoint.sink_states) != len(self._sinks):
+                raise CheckpointError(
+                    f"checkpoint has {len(checkpoint.sink_states)} sink states "
+                    f"but the pipeline has {len(self._sinks)} sinks; resume "
+                    "with the same sink configuration"
+                )
+            for sink, state in zip(self._sinks, checkpoint.sink_states):
+                sink.restore(state)
+        self._source.skip(checkpoint.events_processed)
+
+    def _write_checkpoint(self) -> None:
+        if self._store is None:
+            return
+        started = self._clock()
+        for sink in self._sinks:
+            sink.flush()
+        pattern = getattr(self._engine, "pattern", None)
+        checkpoint = Checkpoint(
+            events_processed=self._events_processed_total,
+            matches_emitted=self._matches_emitted_total,
+            engine_blob=snapshot_engine(self._engine),
+            sink_states=[sink.state() for sink in self._sinks],
+            pattern_name=getattr(pattern, "name", ""),
+        )
+        self._store.save(checkpoint)
+        self._events_at_last_checkpoint = self._events_processed_total
+        self.metrics.checkpoint.observe(self._clock() - started)
+        self.metrics.checkpoints_written += 1
+
+    # ------------------------------------------------------------------
+    # Push-style ingestion
+    # ------------------------------------------------------------------
+    def submit(self, event: Event) -> bool:
+        """Offer one event for later processing (push-style ingestion).
+
+        Returns ``False`` when the buffer is full under the backpressure
+        policy — the producer must retry after :meth:`drain`.  Drop
+        policies always return ``True`` and account shed events in
+        :attr:`metrics`.
+        """
+        consumed = self._buffer.offer(event)
+        if consumed:
+            self.metrics.events_ingested += 1
+            self.metrics.observe_queue_depth(self._buffer.depth)
+        return consumed
+
+    def drain(self, max_events: Optional[int] = None) -> List[Match]:
+        """Process buffered events now; returns the matches they produced."""
+        collected: List[Match] = []
+        processed = 0
+        while len(self._buffer) > 0:
+            if max_events is not None and processed >= max_events:
+                break
+            collected.extend(self._process_one(self._buffer.pop()))
+            processed += 1
+        self.metrics.events_shed += self._buffer.events_shed
+        self._buffer.events_shed = 0
+        return collected
+
+    # ------------------------------------------------------------------
+    # The run loop
+    # ------------------------------------------------------------------
+    def _process_one(self, event: Event) -> List[Match]:
+        started = self._clock()
+        matches = self._engine.process(event)
+        self.metrics.engine.observe(self._clock() - started)
+        self._events_processed_total += 1
+        self.metrics.events_processed += 1
+        if matches:
+            sink_started = self._clock()
+            for sink in self._sinks:
+                for match in matches:
+                    sink.emit(match)
+            self.metrics.sink.observe(self._clock() - sink_started)
+            self._matches_emitted_total += len(matches)
+            self.metrics.matches_emitted += len(matches)
+        if (
+            self._checkpoint_every
+            and self._events_processed_total - self._events_at_last_checkpoint
+            >= self._checkpoint_every
+        ):
+            self._write_checkpoint()
+        return matches
+
+    def run(
+        self,
+        max_events: Optional[int] = None,
+        resume: bool = True,
+        final_checkpoint: bool = True,
+    ) -> PipelineResult:
+        """Pull the source dry (or up to ``max_events``) through the engine.
+
+        Parameters
+        ----------
+        max_events:
+            Stop after processing this many events *in this run* (the
+            bounded-service mode used by smoke tests and experiments).
+        resume:
+            When a checkpoint store is configured and holds a checkpoint,
+            restore engine/sinks/offset from it before processing.
+        final_checkpoint:
+            Write one last checkpoint when the loop ends (set ``False`` to
+            simulate a hard kill in tests).
+        """
+        if self._running:
+            raise StreamingError("pipeline is already running")
+        self._running = True
+        self._stop_requested = False
+        resumed_from = 0
+        try:
+            if resume and self._store is not None:
+                checkpoint = self._store.latest()
+                if checkpoint is not None:
+                    self._restore_from(checkpoint)
+                    resumed_from = checkpoint.events_processed
+            for sink in self._sinks:
+                sink.open()
+
+            started = self._clock()
+            events_before = self.metrics.events_processed
+            matches_before = self.metrics.matches_emitted
+            iterator = iter(self._source)
+            exhausted = False
+            stop_reason = "source-exhausted"
+            processed_this_run = 0
+
+            while True:
+                if self._stop_requested:
+                    stop_reason = "stopped"
+                    break
+                if max_events is not None and processed_this_run >= max_events:
+                    stop_reason = "max-events"
+                    break
+
+                # Fill phase: stage a chunk of events from the source.  The
+                # buffer bounds how far the source can run ahead of the
+                # engine — with the backpressure policy this *is* the
+                # backpressure (we simply stop pulling).
+                budget = min(self._fill_chunk, self._buffer.free)
+                if max_events is not None:
+                    budget = min(
+                        budget,
+                        max_events - processed_this_run - len(self._buffer),
+                    )
+                if budget > 0 and not exhausted:
+                    fill_started = self._clock()
+                    for _ in range(budget):
+                        # Honour stop() mid-fill: a rate-limited source paces
+                        # every pull, so finishing the chunk could stall the
+                        # shutdown for seconds.
+                        if self._stop_requested:
+                            break
+                        try:
+                            event = next(iterator)
+                        except StopIteration:
+                            exhausted = True
+                            break
+                        self._buffer.offer(event)
+                        self.metrics.events_ingested += 1
+                    self.metrics.source.observe(self._clock() - fill_started)
+                    self.metrics.observe_queue_depth(self._buffer.depth)
+
+                if len(self._buffer) == 0:
+                    if exhausted:
+                        break
+                    continue
+
+                # Drain phase: feed the staged events to the engine.
+                while (
+                    len(self._buffer) > 0
+                    and not self._stop_requested
+                    and (max_events is None or processed_this_run < max_events)
+                ):
+                    self._process_one(self._buffer.pop())
+                    processed_this_run += 1
+
+            duration = self._clock() - started
+            if final_checkpoint and self._store is not None:
+                if self._events_processed_total > self._events_at_last_checkpoint:
+                    self._write_checkpoint()
+            for sink in self._sinks:
+                sink.flush()
+
+            self.metrics.events_shed += self._buffer.events_shed
+            self._buffer.events_shed = 0
+            return PipelineResult(
+                events_processed=self.metrics.events_processed - events_before,
+                matches_emitted=self.metrics.matches_emitted - matches_before,
+                duration_seconds=duration,
+                metrics=self.metrics,
+                stop_reason=stop_reason,
+                resumed_from=resumed_from,
+                total_events_processed=self._events_processed_total,
+                total_matches_emitted=self._matches_emitted_total,
+                plan_history=list(getattr(self._engine, "plan_history", [])),
+            )
+        finally:
+            self._running = False
+            for sink in self._sinks:
+                sink.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"<StreamingPipeline engine={type(self._engine).__name__} "
+            f"source={self._source.name} sinks={len(self._sinks)} "
+            f"processed={self._events_processed_total}>"
+        )

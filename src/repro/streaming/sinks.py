@@ -1,0 +1,235 @@
+"""Match sinks for the streaming runtime.
+
+A sink receives every match the engine emits, as it is emitted.  Three
+implementations are provided:
+
+* :class:`CollectorSink` — buffer matches in memory (tests, small jobs);
+* :class:`JSONLMatchWriter` — append one JSON object per match to a file,
+  the durable output of a long-running service;
+* :class:`MetricsSink` — keep only counters (total and per-pattern), for
+  deployments where the matches themselves are consumed elsewhere.
+
+Sinks participate in checkpointing through :meth:`MatchSink.state` /
+:meth:`MatchSink.restore`: the pipeline snapshots each sink's position
+together with the engine state, and a resuming pipeline rolls the sink
+back to that position before re-processing post-checkpoint events.  That
+rollback is what makes resume *exactly-once* — matches emitted after the
+last checkpoint (and about to be re-derived) are withdrawn instead of
+duplicated.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Optional
+
+from repro.engine import Match
+from repro.errors import CheckpointError, StreamingError
+
+
+class MatchSink:
+    """Base class for match sinks."""
+
+    name: str = "sink"
+
+    def open(self) -> None:
+        """Prepare the sink for emission (idempotent)."""
+
+    def emit(self, match: Match) -> None:
+        """Deliver one match."""
+        raise NotImplementedError
+
+    def flush(self) -> None:
+        """Make everything emitted so far durable."""
+
+    def close(self) -> None:
+        """Flush and release resources (idempotent)."""
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def state(self) -> Any:
+        """Opaque position marker stored inside pipeline checkpoints."""
+        return None
+
+    def restore(self, state: Any) -> None:
+        """Roll the sink back to a :meth:`state` position (exactly-once resume)."""
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__}>"
+
+
+class CollectorSink(MatchSink):
+    """Buffer every match in memory."""
+
+    name = "collector"
+
+    def __init__(self) -> None:
+        self.matches: List[Match] = []
+
+    def emit(self, match: Match) -> None:
+        self.matches.append(match)
+
+    def state(self) -> int:
+        return len(self.matches)
+
+    def restore(self, state: Any) -> None:
+        count = int(state or 0)
+        if count > len(self.matches):
+            raise CheckpointError(
+                f"collector sink cannot roll back to {count} matches: only "
+                f"{len(self.matches)} collected (was the sink recreated "
+                "without its previous contents?)"
+            )
+        del self.matches[count:]
+
+    def __len__(self) -> int:
+        return len(self.matches)
+
+
+def match_record(match: Match) -> Dict[str, Any]:
+    """JSON-serialisable representation of one match.
+
+    Events are written as ``(type, timestamp, sequence, payload)`` records;
+    together with the file sources' deterministic sequence numbers this
+    makes two runs over the same input byte-comparable.
+    """
+
+    def event_entry(event) -> Dict[str, Any]:
+        return {
+            "type": event.type_name,
+            "timestamp": event.timestamp,
+            "sequence": event.sequence_number,
+            "payload": event.payload,
+        }
+
+    bindings: Dict[str, Any] = {}
+    for variable in sorted(match.bindings):
+        value = match.bindings[variable]
+        if isinstance(value, list):
+            bindings[variable] = [event_entry(event) for event in value]
+        else:
+            bindings[variable] = event_entry(value)
+    return {
+        "pattern": match.pattern_name,
+        "detection_time": match.detection_time,
+        "bindings": bindings,
+    }
+
+
+class JSONLMatchWriter(MatchSink):
+    """Append matches to a JSON-lines file.
+
+    The sink tracks its byte offset after every line; that offset is the
+    checkpoint state, and :meth:`restore` truncates the file back to it —
+    withdrawing matches that will be re-derived by the resumed pipeline.
+    """
+
+    name = "jsonl-writer"
+
+    def __init__(self, path: str, append: bool = False):
+        self.path = path
+        self._append = bool(append)
+        self._handle = None
+        self.matches_written = 0
+
+    def open(self) -> None:
+        if self._handle is None:
+            self._handle = open(self.path, "a" if self._append else "w", encoding="utf-8")
+
+    def emit(self, match: Match) -> None:
+        if self._handle is None:
+            raise StreamingError(
+                f"JSONLMatchWriter({self.path!r}) is not open; call open() "
+                "first (the pipeline does this automatically)"
+            )
+        self._handle.write(json.dumps(match_record(match)) + "\n")
+        self.matches_written += 1
+
+    def flush(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self.flush()
+            self._handle.close()
+            self._handle = None
+
+    def state(self) -> Dict[str, int]:
+        if self._handle is None:
+            return {"offset": 0, "matches": 0}
+        self._handle.flush()
+        return {"offset": self._handle.tell(), "matches": self.matches_written}
+
+    def restore(self, state: Any) -> None:
+        if not state:
+            return
+        offset = int(state["offset"])
+        was_open = self._handle is not None
+        if was_open:
+            self._handle.flush()
+            self._handle.close()
+            self._handle = None
+        try:
+            size = os.path.getsize(self.path)
+        except OSError as exc:
+            if offset == 0:
+                size = None  # nothing was written; no file to roll back
+            else:
+                raise CheckpointError(
+                    f"cannot roll back {self.path!r}: {exc}"
+                ) from exc
+        if size is not None and offset > size:
+            raise CheckpointError(
+                f"cannot roll back {self.path!r} to byte {offset}: file has "
+                f"only {size} bytes (was it rewritten since the checkpoint?)"
+            )
+        if size is not None:
+            with open(self.path, "r+", encoding="utf-8") as handle:
+                handle.truncate(offset)
+        self.matches_written = int(state["matches"])
+        # Continue appending after the rollback point.
+        self._append = True
+        if was_open:
+            self.open()
+
+    def __repr__(self) -> str:
+        return f"<JSONLMatchWriter path={self.path!r} written={self.matches_written}>"
+
+
+class MetricsSink(MatchSink):
+    """Count matches without retaining them."""
+
+    name = "metrics"
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.per_pattern: Dict[str, int] = {}
+        self.last_detection_time: Optional[float] = None
+
+    def emit(self, match: Match) -> None:
+        self.total += 1
+        self.per_pattern[match.pattern_name] = (
+            self.per_pattern.get(match.pattern_name, 0) + 1
+        )
+        self.last_detection_time = match.detection_time
+
+    def state(self) -> Dict[str, Any]:
+        return {
+            "total": self.total,
+            "per_pattern": dict(self.per_pattern),
+            "last_detection_time": self.last_detection_time,
+        }
+
+    def restore(self, state: Any) -> None:
+        if not state:
+            return
+        self.total = int(state["total"])
+        self.per_pattern = dict(state["per_pattern"])
+        self.last_detection_time = state["last_detection_time"]
+
+    def __repr__(self) -> str:
+        return f"<MetricsSink total={self.total}>"

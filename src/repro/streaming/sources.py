@@ -1,0 +1,404 @@
+"""Event sources for the streaming runtime.
+
+A source is a lazy, single-pass :class:`~repro.events.EventStream` that
+yields events incrementally instead of materialising a list:
+
+* :class:`IterableSource` — adapt any iterable/generator of events;
+* :class:`CallbackSource` — pull events from a zero-argument callable
+  (the adapter for push-style client libraries);
+* :class:`ReplaySource` — rate-controlled replay of a recorded stream,
+  the synthetic-load generator of the throughput experiments;
+* :class:`JSONLFileSource` / :class:`CSVFileSource` — read (and optionally
+  tail) event files, assigning *deterministic* sequence numbers from the
+  record index so two reads of one file produce identical events — the
+  property checkpoint/resume correctness rests on.
+
+Every source supports :meth:`~EventSource.skip`, which fast-forwards past
+the first ``n`` records without rate-limiting delays — how a resumed
+pipeline seeks to its checkpoint offset.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import time
+from typing import Any, Callable, Dict, Iterable, Iterator, Mapping, Optional
+
+from repro.errors import StreamingError
+from repro.events import Event, EventStream, EventType
+from repro.events.stream import GeneratorEventStream
+
+
+class RateLimiter:
+    """Paces an event flow to a target rate (events per second).
+
+    The limiter schedules event ``i`` at ``start + i / rate`` and sleeps
+    until that deadline, so short hiccups are amortised (the flow catches
+    up) rather than compounding.  ``clock`` and ``sleep`` are injectable
+    for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if rate <= 0:
+            raise StreamingError(f"rate must be positive, got {rate!r}")
+        self.rate = float(rate)
+        self._clock = clock
+        self._sleep = sleep
+        self._started: Optional[float] = None
+        self._emitted = 0
+
+    def wait(self) -> None:
+        """Block until the next event is due, then account for it."""
+        now = self._clock()
+        if self._started is None:
+            self._started = now
+        deadline = self._started + self._emitted / self.rate
+        if deadline > now:
+            self._sleep(deadline - now)
+        self._emitted += 1
+
+    def reset(self) -> None:
+        self._started = None
+        self._emitted = 0
+
+    def __repr__(self) -> str:
+        return f"<RateLimiter rate={self.rate:g}/s emitted={self._emitted}>"
+
+
+class EventSource(GeneratorEventStream):
+    """Base class for streaming sources.
+
+    Subclasses implement :meth:`_records`, yielding events lazily.  The
+    base class provides single-pass semantics (inherited from
+    :class:`~repro.events.GeneratorEventStream` — re-iteration raises),
+    skip-ahead for checkpoint resume, optional rate limiting, and an
+    ``events_emitted`` counter.
+    """
+
+    name: str = "source"
+
+    def __init__(self, rate: Optional[float] = None):
+        self._limiter = RateLimiter(rate) if rate else None
+        self._skip = 0
+        self.events_emitted = 0
+        super().__init__(self._iterate(), name=type(self).__name__)
+
+    def _records(self) -> Iterator[Event]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def skip(self, count: int) -> None:
+        """Fast-forward past the first ``count`` records (no rate limiting).
+
+        Must be called before iteration starts; used by a resuming pipeline
+        to seek to its checkpoint offset.
+        """
+        if count < 0:
+            raise StreamingError(f"skip count must be non-negative, got {count!r}")
+        if self.consumed:
+            raise StreamingError(
+                f"{type(self).__name__} is already being consumed; skip() must "
+                "be called before iteration starts"
+            )
+        self._skip = int(count)
+
+    def _iterate(self) -> Iterator[Event]:
+        remaining_skip = None
+        for event in self._records():
+            if remaining_skip is None:
+                remaining_skip = self._skip
+            if remaining_skip > 0:
+                remaining_skip -= 1
+                continue
+            if self._limiter is not None:
+                self._limiter.wait()
+            self.events_emitted += 1
+            yield event
+
+
+class IterableSource(EventSource):
+    """Adapt any iterable of events (a list, a generator, another stream)."""
+
+    name = "iterable"
+
+    def __init__(self, events: Iterable[Event], rate: Optional[float] = None):
+        self._events = events
+        super().__init__(rate=rate)
+
+    def _records(self) -> Iterator[Event]:
+        return iter(self._events)
+
+
+class CallbackSource(EventSource):
+    """Pull events from a zero-argument callable.
+
+    The callable returns the next :class:`~repro.events.Event`, or ``None``
+    to signal end-of-stream — the natural adapter for client libraries that
+    expose a blocking ``poll()``-style API.
+    """
+
+    name = "callback"
+
+    def __init__(
+        self, poll: Callable[[], Optional[Event]], rate: Optional[float] = None
+    ):
+        if not callable(poll):
+            raise StreamingError("CallbackSource requires a callable")
+        self._poll = poll
+        super().__init__(rate=rate)
+
+    def _records(self) -> Iterator[Event]:
+        while True:
+            event = self._poll()
+            if event is None:
+                return
+            yield event
+
+
+class ReplaySource(EventSource):
+    """Rate-controlled replay of a recorded stream.
+
+    Replays a materialised stream (or any re-iterable collection of events)
+    at ``rate`` events per second — the synthetic load generator used by
+    the ``serve`` CLI and the throughput-under-rate experiment.  With
+    ``rate=None`` the replay is unthrottled (as fast as the consumer pulls).
+    """
+
+    name = "replay"
+
+    def __init__(self, stream: "EventStream | Iterable[Event]", rate: Optional[float] = None):
+        self._stream = stream
+        super().__init__(rate=rate)
+
+    def _records(self) -> Iterator[Event]:
+        return iter(self._stream)
+
+
+class _FileSource(EventSource):
+    """Shared machinery of the file-backed sources.
+
+    Reads records from a text file, optionally *tailing* it: with
+    ``follow=True`` the source polls for newly appended lines after
+    reaching EOF (like ``tail -f``) until ``idle_timeout`` seconds pass
+    with no new data, or :meth:`stop_following` is called.
+
+    Events get ``sequence_number = record index``, so replaying a file
+    yields byte-identical events on every read — checkpoint/resume and
+    cross-run match comparison depend on this determinism.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        types: Mapping[str, EventType],
+        timestamp_field: str = "timestamp",
+        type_field: str = "type",
+        follow: bool = False,
+        poll_interval: float = 0.05,
+        idle_timeout: Optional[float] = None,
+        rate: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if not types:
+            raise StreamingError(f"{type(self).__name__} requires an event-type registry")
+        self.path = path
+        self._types = dict(types)
+        self._timestamp_field = timestamp_field
+        self._type_field = type_field
+        self._follow = bool(follow)
+        self._poll_interval = float(poll_interval)
+        self._idle_timeout = idle_timeout
+        self._clock = clock
+        self._sleep = sleep
+        self._following = True
+        super().__init__(rate=rate)
+
+    def stop_following(self) -> None:
+        """End a ``follow=True`` tail at the next EOF poll."""
+        self._following = False
+
+    def _lines(self) -> Iterator[str]:
+        with open(self.path, "r", encoding="utf-8") as handle:
+            idle_since: Optional[float] = None
+            while True:
+                position = handle.tell() if self._follow else 0
+                line = handle.readline()
+                if line and (line.endswith("\n") or not self._follow):
+                    # Complete line (or the unterminated final line of a
+                    # closed file).
+                    idle_since = None
+                    yield line
+                    continue
+                if line:
+                    # A partially written line while tailing: rewind to the
+                    # line start and retry once the writer finishes it.
+                    handle.seek(position)
+                if not self._follow or not self._following:
+                    return
+                now = self._clock()
+                if idle_since is None:
+                    idle_since = now
+                if (
+                    self._idle_timeout is not None
+                    and now - idle_since >= self._idle_timeout
+                ):
+                    return
+                self._sleep(self._poll_interval)
+
+    def _event_from(self, record: Dict[str, Any], index: int) -> Event:
+        try:
+            type_name = record.pop(self._type_field)
+            timestamp = float(record.pop(self._timestamp_field))
+        except KeyError as exc:
+            raise StreamingError(
+                f"{self.path}:{index + 1}: record is missing field {exc}"
+            ) from None
+        except (TypeError, ValueError) as exc:
+            raise StreamingError(
+                f"{self.path}:{index + 1}: bad timestamp: {exc}"
+            ) from None
+        event_type = self._types.get(type_name)
+        if event_type is None:
+            raise StreamingError(
+                f"{self.path}:{index + 1}: unknown event type {type_name!r} "
+                f"(registry has {sorted(self._types)})"
+            )
+        return Event(event_type, timestamp, record, sequence_number=index)
+
+    def _parse(self, line: str, index: int) -> Dict[str, Any]:  # pragma: no cover
+        raise NotImplementedError
+
+    def _records(self) -> Iterator[Event]:
+        for index, line in enumerate(self._lines()):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            yield self._event_from(self._parse(stripped, index), index)
+
+
+class JSONLFileSource(_FileSource):
+    """Read events from a JSON-lines file (one JSON object per line).
+
+    Each record carries the event-type name, the timestamp and the payload
+    attributes, e.g. ``{"type": "MSFT", "timestamp": 12.5, "price": 101.3}``.
+    """
+
+    name = "jsonl"
+
+    def _parse(self, line: str, index: int) -> Dict[str, Any]:
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise StreamingError(f"{self.path}:{index + 1}: invalid JSON: {exc}") from exc
+        if not isinstance(record, dict):
+            raise StreamingError(
+                f"{self.path}:{index + 1}: expected a JSON object, "
+                f"got {type(record).__name__}"
+            )
+        return record
+
+
+def _coerce(value: str) -> Any:
+    """CSV cells are strings; recover ints and floats where unambiguous."""
+    try:
+        return int(value)
+    except ValueError:
+        pass
+    try:
+        return float(value)
+    except ValueError:
+        return value
+
+
+class CSVFileSource(_FileSource):
+    """Read events from a CSV file with a header row.
+
+    The header names the per-record fields; numeric-looking cells are
+    coerced to ``int``/``float`` so equality joins behave as they would on
+    the original payloads.
+    """
+
+    name = "csv"
+
+    def _records(self) -> Iterator[Event]:
+        # The reader consumes the raw line flow: filtering blank lines first
+        # would corrupt quoted fields that span physical lines.  Blank lines
+        # *between* records come back as empty rows and are skipped.
+        reader = csv.reader(self._lines())
+        header = None
+        index = 0
+        for row in reader:
+            if not row:
+                continue
+            if header is None:
+                header = row
+                continue
+            if len(row) != len(header):
+                raise StreamingError(
+                    f"{self.path}:{reader.line_num}: expected {len(header)} "
+                    f"fields, got {len(row)}"
+                )
+            record = {name: _coerce(cell) for name, cell in zip(header, row)}
+            yield self._event_from(record, index)
+            index += 1
+
+
+# ----------------------------------------------------------------------
+# Event-file writers (the inverse of the file sources)
+# ----------------------------------------------------------------------
+def event_record(event: Event, timestamp_field: str = "timestamp", type_field: str = "type") -> Dict[str, Any]:
+    """Flat dictionary representation of one event (file-source schema)."""
+    record: Dict[str, Any] = {
+        type_field: event.type_name,
+        timestamp_field: event.timestamp,
+    }
+    record.update(event.payload)
+    return record
+
+
+def write_events_jsonl(
+    events: Iterable[Event],
+    path: str,
+    timestamp_field: str = "timestamp",
+    type_field: str = "type",
+) -> int:
+    """Dump events as JSON lines readable by :class:`JSONLFileSource`."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(event_record(event, timestamp_field, type_field)) + "\n"
+            )
+            count += 1
+    return count
+
+
+def write_events_csv(
+    events: Iterable[Event],
+    path: str,
+    timestamp_field: str = "timestamp",
+    type_field: str = "type",
+) -> int:
+    """Dump events as a CSV file readable by :class:`CSVFileSource`.
+
+    The header is the union of all payload attribute names, so the events
+    are buffered once; for unbounded streams use the JSONL writer.
+    """
+    buffered = list(events)
+    field_names = [type_field, timestamp_field]
+    for event in buffered:
+        for key in event.payload:
+            if key not in field_names:
+                field_names.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=field_names, restval="")
+        writer.writeheader()
+        for event in buffered:
+            writer.writerow(event_record(event, timestamp_field, type_field))
+    return len(buffered)

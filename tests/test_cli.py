@@ -45,6 +45,24 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compare", "--executor", "bogus"])
 
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.source == "synthetic"
+        assert args.rate == 0.0
+        assert args.sink is None
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every == 10000
+        assert args.overflow == "backpressure"
+
+    def test_serve_invalid_overflow_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--overflow", "bogus"])
+
+    def test_stream_bench_rates_option(self):
+        args = build_parser().parse_args(["stream-bench", "--rates", "0,5000"])
+        assert args.rates == "0,5000"
+        assert args.size == 3
+
 
 class TestExecution:
     COMMON = ["--duration", "25", "--max-events", "1200", "--sizes", "3", "--monitoring-interval", "2"]
@@ -97,3 +115,63 @@ class TestExecution:
         exit_code = main(["compare", *self.COMMON, "--shards", "2"])
         assert exit_code == 0
         assert "throughput" in capsys.readouterr().out
+
+    def test_serve_runs_with_sink_and_checkpoints(self, capsys, tmp_path):
+        sink_path = tmp_path / "matches.jsonl"
+        exit_code = main(
+            [
+                "serve",
+                "--dataset",
+                "stocks",
+                *self.COMMON,
+                "--size",
+                "3",
+                "--sink",
+                str(sink_path),
+                "--checkpoint-dir",
+                str(tmp_path / "ckpt"),
+                "--checkpoint-every",
+                "500",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "pipeline stopped (source-exhausted)" in output
+        assert "pipeline metrics" in output
+        assert sink_path.exists()
+        assert (tmp_path / "ckpt").is_dir()
+
+    def test_serve_resumes_from_checkpoint(self, capsys, tmp_path):
+        serve_args = [
+            "serve",
+            "--dataset",
+            "stocks",
+            *self.COMMON,
+            "--checkpoint-dir",
+            str(tmp_path / "ckpt"),
+            "--checkpoint-every",
+            "300",
+        ]
+        assert main([*serve_args, "--serve-events", "600"]) == 0
+        capsys.readouterr()
+        assert main(serve_args) == 0
+        assert "resumed from event 600" in capsys.readouterr().out
+
+    def test_stream_bench_runs(self, capsys, tmp_path):
+        csv_path = tmp_path / "rates.csv"
+        exit_code = main(
+            [
+                "stream-bench",
+                "--dataset",
+                "stocks",
+                *self.COMMON,
+                "--rates",
+                "0",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "offered rate" in output
+        assert csv_path.exists()

@@ -11,6 +11,7 @@ from repro.events import (
     EventSchema,
     EventType,
     EventStream,
+    GeneratorEventStream,
     InMemoryEventStream,
     MergedEventStream,
 )
@@ -207,6 +208,45 @@ class TestInMemoryEventStream:
         events = [Event(EventType("A"), float(i)) for i in range(5)]
         sliced = InMemoryEventStream(events).slice_time(1.0, 3.0)
         assert [e.timestamp for e in sliced] == [1.0, 2.0]
+
+
+class TestGeneratorEventStream:
+    def _events(self, count=4):
+        return [Event(EventType("A"), float(t)) for t in range(count)]
+
+    def test_yields_lazily_from_generator(self):
+        events = self._events()
+        stream = GeneratorEventStream(e for e in events)
+        assert list(stream) == events
+
+    def test_reiteration_raises_instead_of_yielding_nothing(self):
+        stream = GeneratorEventStream(iter(self._events()))
+        stream.to_list()
+        with pytest.raises(DatasetError, match="single-pass"):
+            iter(stream)
+
+    def test_to_list_after_consumption_raises(self):
+        stream = GeneratorEventStream(iter(self._events()))
+        list(stream)
+        with pytest.raises(DatasetError):
+            stream.to_list()
+
+    def test_consumed_flag(self):
+        stream = GeneratorEventStream(iter(self._events()))
+        assert not stream.consumed
+        iter(stream)
+        assert stream.consumed
+
+    def test_has_no_len(self):
+        with pytest.raises(TypeError):
+            len(GeneratorEventStream(iter(self._events())))
+
+    def test_merged_over_consumed_generator_raises(self):
+        generator_stream = GeneratorEventStream(iter(self._events()))
+        merged = MergedEventStream([generator_stream])
+        assert len(list(merged)) == 4
+        with pytest.raises(DatasetError, match="single-pass"):
+            list(merged)
 
 
 class TestMergedEventStream:
