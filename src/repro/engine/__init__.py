@@ -22,7 +22,13 @@ from repro.engine.tree import TreeEvaluationEngine
 from repro.engine.migration import PlanMigrationManager
 from repro.engine.cep_engine import AdaptiveCEPEngine, RunResult, engine_for_plan
 from repro.engine.multi_pattern import MultiPatternEngine
-from repro.engine.state import restore_engine, snapshot_engine
+from repro.engine.state import (
+    is_shard_snapshot,
+    restore_engine,
+    restore_shard_states,
+    snapshot_engine,
+    snapshot_shard_states,
+)
 
 __all__ = [
     "PartialMatch",
@@ -38,4 +44,7 @@ __all__ = [
     "engine_for_plan",
     "snapshot_engine",
     "restore_engine",
+    "snapshot_shard_states",
+    "restore_shard_states",
+    "is_shard_snapshot",
 ]

@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import pickle
 import pickletools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CheckpointError
 
@@ -32,6 +33,13 @@ SNAPSHOT_MAGIC = b"repro-engine-state"
 
 #: Bumped whenever the snapshot layout changes incompatibly.
 SNAPSHOT_VERSION = 1
+
+#: Frame prefix identifying a multi-shard state blob (one engine blob per
+#: worker replica plus coordinator metadata — see :func:`snapshot_shard_states`).
+SHARD_SNAPSHOT_MAGIC = b"repro-shard-states"
+
+#: Bumped whenever the shard-frame layout changes incompatibly.
+SHARD_SNAPSHOT_VERSION = 1
 
 
 def snapshot_engine(engine: object) -> bytes:
@@ -84,3 +92,74 @@ def restore_engine(blob: bytes) -> object:
             "engine (no process() method)"
         )
     return engine
+
+
+# ----------------------------------------------------------------------
+# Multi-shard framing (the multi-core streaming worker backends)
+# ----------------------------------------------------------------------
+def is_shard_snapshot(blob: bytes) -> bool:
+    """Whether ``blob`` is a :func:`snapshot_shard_states` frame."""
+    return isinstance(blob, (bytes, bytearray)) and bytes(blob).startswith(
+        SHARD_SNAPSHOT_MAGIC
+    )
+
+
+def snapshot_shard_states(
+    shard_blobs: Sequence[bytes], meta: Optional[Dict[str, Any]] = None
+) -> bytes:
+    """Frame per-shard engine blobs (plus coordinator metadata) into one blob.
+
+    The multi-core streaming backends checkpoint one engine replica per
+    worker; a consistent cut is the *set* of replica snapshots taken at a
+    queue barrier, together with the coordinator state that routes events
+    and deduplicates matches (partitioner, dedup filter, queue high-water
+    marks).  Each entry of ``shard_blobs`` must itself be a
+    :func:`snapshot_engine` frame, so a shard can be restored individually
+    with :func:`restore_engine`.
+    """
+    blobs = [bytes(blob) for blob in shard_blobs]
+    if not blobs:
+        raise CheckpointError("a shard snapshot needs at least one shard blob")
+    for index, blob in enumerate(blobs):
+        if not blob.startswith(SNAPSHOT_MAGIC):
+            raise CheckpointError(
+                f"shard {index} blob is not a snapshot_engine() frame"
+            )
+    try:
+        payload = pickle.dumps(
+            (blobs, dict(meta or {})), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:
+        raise CheckpointError(
+            f"shard snapshot metadata is not picklable: {exc}"
+        ) from exc
+    header = SHARD_SNAPSHOT_MAGIC + bytes([SHARD_SNAPSHOT_VERSION])
+    return header + payload
+
+
+def restore_shard_states(blob: bytes) -> Tuple[List[bytes], Dict[str, Any]]:
+    """Unframe a :func:`snapshot_shard_states` blob → ``(shard_blobs, meta)``."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise CheckpointError(
+            f"shard snapshot must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    prefix_length = len(SHARD_SNAPSHOT_MAGIC) + 1
+    if len(blob) <= prefix_length or not blob.startswith(SHARD_SNAPSHOT_MAGIC):
+        raise CheckpointError(
+            "not a shard snapshot (bad magic); was this blob produced by "
+            "snapshot_shard_states()?"
+        )
+    version = blob[len(SHARD_SNAPSHOT_MAGIC)]
+    if version != SHARD_SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"shard snapshot version {version} is not supported by this "
+            f"library build (expected {SHARD_SNAPSHOT_VERSION})"
+        )
+    try:
+        blobs, meta = pickle.loads(blob[prefix_length:])
+    except Exception as exc:
+        raise CheckpointError(f"corrupt shard snapshot: {exc}") from exc
+    if not isinstance(blobs, list) or not isinstance(meta, dict):
+        raise CheckpointError("shard snapshot decoded to an unexpected layout")
+    return blobs, meta

@@ -12,7 +12,11 @@ and run the engine as a continuously-ingesting service::
 
     python -m repro.experiments.cli serve --dataset stocks --rate 5000 \
         --sink matches.jsonl --checkpoint-dir ckpt --checkpoint-every 10000
+    python -m repro.experiments.cli serve --backend process --workers 4 \
+        --partition-by entity_id --dataset stocks
     python -m repro.experiments.cli stream-bench --rates 0,2000,8000
+    python -m repro.experiments.cli stream-bench --backend process \
+        --worker-counts 1,2,4
 
 Each sub-command prints the same plain-text tables the benchmark suite
 reports and optionally writes them as CSV.
@@ -25,7 +29,6 @@ import signal
 import sys
 from typing import List, Optional
 
-from repro.engine import AdaptiveCEPEngine
 from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.distance_estimation import distance_estimation_table
@@ -33,15 +36,14 @@ from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, 
 from repro.experiments.method_comparison import DEFAULT_METHODS, RECOMMENDED_DISTANCE, compare_methods
 from repro.experiments.parallel_scaling import parallel_speedup_rows
 from repro.experiments.reporting import format_table, pivot, rows_to_csv
-from repro.experiments.runner import (
-    build_dataset,
-    build_partitioner,
-    build_planner,
-    build_policy,
-    build_workload,
+from repro.experiments.runner import build_dataset, build_workload
+from repro.experiments.streaming_rate import (
+    DEFAULT_RATES,
+    DEFAULT_WORKER_COUNTS,
+    build_streaming_engine,
+    rate_sweep_rows,
+    worker_sweep_rows,
 )
-from repro.experiments.streaming_rate import DEFAULT_RATES, rate_sweep_rows
-from repro.parallel import ParallelCEPEngine
 from repro.streaming import (
     CheckpointStore,
     CSVFileSource,
@@ -102,6 +104,25 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         partition_by=args.partition_by,
         batch_size=args.batch_size,
         executor=args.executor,
+        backend=getattr(args, "backend", "inline"),
+        workers=getattr(args, "workers", 0) or 0,
+    )
+
+
+def _add_backend_options(parser: argparse.ArgumentParser) -> None:
+    """Streaming execution-backend options (serve / stream-bench)."""
+    parser.add_argument(
+        "--backend",
+        choices=("inline", "thread", "process"),
+        default="inline",
+        help="where detection runs: in the pipeline thread (inline), or on "
+        "per-shard worker threads/processes fed by bounded queues",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="shard workers for --backend thread/process (0 = use --shards)",
     )
 
 
@@ -200,15 +221,15 @@ def _run_parallel(args: argparse.Namespace) -> int:
     return 0
 
 
-def _serve_pattern(args: argparse.Namespace, workload):
+def _serve_pattern(args: argparse.Namespace, config: ExperimentConfig, workload):
     """The pattern the service detects."""
     size = int(args.size)
-    if args.shards > 1 and args.partition_by:
+    if config.engine_replicas > 1 and args.partition_by:
         return workload.keyed_sequence_pattern(size, key=args.partition_by)
     return workload.sequence_pattern(size)
 
 
-def _serve_source(args: argparse.Namespace, dataset, workload):
+def _serve_source(args: argparse.Namespace, config: ExperimentConfig, dataset, workload):
     """Source factory: ``synthetic`` replay or a JSONL/CSV file (tailable).
 
     The synthetic stream is only generated (and materialised) when it is
@@ -216,7 +237,7 @@ def _serve_source(args: argparse.Namespace, dataset, workload):
     """
     rate = args.rate if args.rate > 0 else None
     if args.source == "synthetic":
-        if args.shards > 1 and args.partition_by:
+        if config.engine_replicas > 1 and args.partition_by:
             stream = workload.keyed_stream(
                 args.duration,
                 entities=args.entities,
@@ -241,24 +262,9 @@ def _run_serve(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     dataset = build_dataset(config)
     workload = build_workload(config, dataset)
-    pattern = _serve_pattern(args, workload)
+    pattern = _serve_pattern(args, config, workload)
     spec = PolicySpec("invariant", distance=0.1, label="invariant")
-    if args.shards > 1:
-        engine = ParallelCEPEngine(
-            pattern,
-            build_planner(config.algorithm),
-            build_policy(spec),
-            shards=args.shards,
-            partitioner=build_partitioner(args.partition_by),
-            monitoring_interval=config.monitoring_interval,
-        )
-    else:
-        engine = AdaptiveCEPEngine(
-            pattern,
-            build_planner(config.algorithm),
-            build_policy(spec),
-            monitoring_interval=config.monitoring_interval,
-        )
+    engine = build_streaming_engine(config, pattern, spec)
 
     metrics_sink = MetricsSink()
     sinks = [metrics_sink]
@@ -268,7 +274,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     pipeline = StreamingPipeline(
         engine,
-        _serve_source(args, dataset, workload),
+        _serve_source(args, config, dataset, workload),
         sinks=sinks,
         checkpoint_store=store,
         checkpoint_every=args.checkpoint_every if store else 0,
@@ -293,10 +299,27 @@ def _run_serve(args: argparse.Namespace) -> int:
     print(
         f"pipeline stopped ({result.stop_reason}): "
         f"{result.events_processed} events, {result.matches_emitted} matches, "
-        f"{result.throughput:,.0f} ev/s"
+        f"{result.throughput:,.0f} ev/s [{config.backend} backend]"
         + (f", resumed from event {result.resumed_from}" if result.resumed_from else "")
     )
     print(format_table([result.metrics.as_row()], title="pipeline metrics"))
+    if result.metrics.workers:
+        print(
+            format_table(
+                [
+                    {
+                        "worker": lane.shard_id,
+                        "events": lane.events_processed,
+                        "batches": lane.batches_consumed,
+                        "queue_hw": lane.queue_high_water,
+                        "batch_ms_mean": lane.processing.mean_seconds * 1e3,
+                    }
+                    for _, lane in sorted(result.metrics.workers.items())
+                ],
+                ["worker", "events", "batches", "queue_hw", "batch_ms_mean"],
+                title="worker lanes",
+            )
+        )
     if metrics_sink.per_pattern:
         print(
             format_table(
@@ -317,6 +340,36 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 def _run_stream_bench(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
+    if args.worker_counts:
+        worker_counts = tuple(
+            int(part) for part in args.worker_counts.split(",") if part
+        )
+        rows = worker_sweep_rows(
+            config,
+            worker_counts=worker_counts,
+            size=int(args.size),
+            entities=args.entities,
+        )
+        backend = rows[-1]["backend"] if rows else config.backend
+        print(
+            format_table(
+                rows,
+                [
+                    "backend",
+                    "workers",
+                    "throughput",
+                    "speedup",
+                    "matches",
+                    "worker_queue_hw",
+                ],
+                title=(
+                    f"{config.dataset}/{config.algorithm}: multi-core streaming "
+                    f"scaling ({backend} workers vs inline; matches must agree)"
+                ),
+            )
+        )
+        _maybe_write_csv(rows, args.csv)
+        return 0
     rates = tuple(float(part) for part in args.rates.split(",") if part)
     rows = rate_sweep_rows(
         config, rates=rates, size=int(args.size), entities=args.entities
@@ -419,6 +472,7 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="run the engine as a continuously-ingesting service"
     )
     _add_common_options(serve)
+    _add_backend_options(serve)
     serve.add_argument(
         "--size", type=int, default=3, help="pattern size for the served pattern"
     )
@@ -488,6 +542,7 @@ def build_parser() -> argparse.ArgumentParser:
         "stream-bench", help="pipeline throughput/latency under offered arrival rates"
     )
     _add_common_options(stream_bench)
+    _add_backend_options(stream_bench)
     stream_bench.add_argument(
         "--size", type=int, default=3, help="pattern size for the benchmark pattern"
     )
@@ -502,6 +557,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=8,
         help="distinct partition-key values in the keyed stream (with --partition-by)",
+    )
+    stream_bench.add_argument(
+        "--worker-counts",
+        type=str,
+        default=None,
+        help="comma-separated worker counts: run the multi-core scaling sweep "
+        f"(keyed workload, unthrottled) instead of the rate sweep; e.g. "
+        f"{','.join(str(count) for count in DEFAULT_WORKER_COUNTS)}",
     )
     stream_bench.set_defaults(handler=_run_stream_bench)
 

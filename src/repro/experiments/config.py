@@ -71,6 +71,8 @@ class ExperimentConfig:
     partition_by: Optional[str] = None
     batch_size: int = 256
     executor: str = "serial"
+    backend: str = "inline"
+    workers: int = 0
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("greedy", "zstream"):
@@ -89,6 +91,27 @@ class ExperimentConfig:
             raise ExperimentError(
                 f"unknown executor {self.executor!r}; expected 'serial' or 'process'"
             )
+        if self.backend not in ("inline", "thread", "process"):
+            raise ExperimentError(
+                f"unknown backend {self.backend!r}; expected 'inline', "
+                "'thread' or 'process'"
+            )
+        if self.workers < 0:
+            raise ExperimentError("workers must be non-negative (0 = use shards)")
+
+    @property
+    def effective_workers(self) -> int:
+        """Shard-worker count for streaming backends (``workers`` or ``shards``)."""
+        return self.workers if self.workers > 0 else self.shards
+
+    @property
+    def engine_replicas(self) -> int:
+        """Engine replicas the streaming engine will actually run.
+
+        Worker backends host ``effective_workers`` replicas; the inline
+        backend shards in-process by ``shards`` alone.
+        """
+        return self.effective_workers if self.backend != "inline" else self.shards
 
     def dataset_kwargs(self) -> dict:
         kwargs: dict = {"duration_hint": self.duration}

@@ -16,6 +16,7 @@ other rows are compared against.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine import AdaptiveCEPEngine
@@ -28,18 +29,36 @@ from repro.experiments.runner import (
     build_workload,
 )
 from repro.parallel import ParallelCEPEngine
-from repro.streaming import CollectorSink, ReplaySource, StreamingPipeline
+from repro.streaming import CollectorSink, ReplaySource, StreamingPipeline, backend_by_name
 
 #: Offered arrival rates (events/second); 0 = unthrottled capacity probe.
 DEFAULT_RATES = (0.0, 2000.0, 8000.0, 32000.0)
 
+#: Worker counts compared by the multi-core scaling sweep.
+DEFAULT_WORKER_COUNTS = (1, 2, 4)
 
-def _build_streaming_engine(
+
+def build_streaming_engine(
     config: ExperimentConfig, pattern, spec: PolicySpec
 ):
-    """A fresh engine in streaming mode, sharded when the config asks for it."""
+    """A fresh engine (or worker backend) in streaming mode.
+
+    With ``backend != "inline"`` the result is a thread/process worker
+    backend hosting ``config.effective_workers`` engine replicas; otherwise
+    a bare engine, sharded in-process when the config asks for it.
+    """
     planner = build_planner(config.algorithm)
     policy = build_policy(spec)
+    if config.backend != "inline":
+        engine = ParallelCEPEngine(
+            pattern,
+            planner,
+            policy,
+            shards=config.effective_workers,
+            partitioner=build_partitioner(config.partition_by),
+            monitoring_interval=config.monitoring_interval,
+        )
+        return backend_by_name(config.backend, engine)
     if config.shards > 1:
         return ParallelCEPEngine(
             pattern,
@@ -95,7 +114,7 @@ def rate_sweep_rows(
 
     rows: List[Dict[str, float]] = []
     for rate in rates:
-        engine = _build_streaming_engine(config, pattern, spec)
+        engine = build_streaming_engine(config, pattern, spec)
         collector = CollectorSink()
         pipeline = StreamingPipeline(
             engine,
@@ -119,5 +138,86 @@ def rate_sweep_rows(
                 "queue_high_water": float(metrics.queue_high_water),
                 "shed": float(metrics.events_shed),
             }
+        )
+    return rows
+
+
+def worker_sweep_rows(
+    config: ExperimentConfig,
+    worker_counts: Sequence[int] = DEFAULT_WORKER_COUNTS,
+    size: int = 3,
+    entities: int = 8,
+    backend: Optional[str] = None,
+    policy_spec: Optional[PolicySpec] = None,
+) -> List[Dict[str, float]]:
+    """Multi-core streaming scaling: one row per worker count.
+
+    Replays the keyed multi-entity workload unthrottled through the
+    single-threaded inline pipeline (the baseline row, ``workers=0``) and
+    then through the requested worker backend at each worker count.  Every
+    run replays the *same* recorded events, so the ``matches`` column must
+    be constant down the table — the differential check the equivalence
+    suite automates.  ``speedup`` is relative to the inline baseline.
+    """
+    spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
+    backend_name = backend or (
+        config.backend if config.backend != "inline" else "process"
+    )
+    key = config.partition_by or "entity_id"
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    pattern, stream = workload.keyed_workload(
+        size,
+        duration=config.duration,
+        entities=entities,
+        key=key,
+        seed=config.stream_seed,
+        max_events=config.max_events,
+    )
+    events = stream.to_list()
+
+    def run_once(run_config: ExperimentConfig):
+        engine = build_streaming_engine(run_config, pattern, spec)
+        collector = CollectorSink()
+        pipeline = StreamingPipeline(
+            engine,
+            ReplaySource(events),
+            sinks=[collector],
+            buffer_capacity=max(config.batch_size, 1),
+        )
+        result = pipeline.run()
+        return result, collector
+
+    def row_from(run_config, label, workers, result, collector, baseline):
+        metrics = result.metrics
+        lanes = metrics.workers.values()
+        return {
+            "dataset": config.dataset,
+            "algorithm": config.algorithm,
+            "size": size,
+            "backend": label,
+            "workers": workers,
+            "throughput": result.throughput,
+            "speedup": (result.throughput / baseline) if baseline else 1.0,
+            "matches": float(len(collector.matches)),
+            "engine_ms_mean": metrics.engine.mean_seconds * 1e3,
+            "worker_queue_hw": float(
+                max((lane.queue_high_water for lane in lanes), default=0)
+            ),
+        }
+
+    baseline_config = replace(
+        config, backend="inline", shards=1, workers=0, partition_by=key
+    )
+    result, collector = run_once(baseline_config)
+    baseline = result.throughput
+    rows = [row_from(baseline_config, "inline", 0, result, collector, baseline)]
+    for workers in worker_counts:
+        run_config = replace(
+            config, backend=backend_name, workers=int(workers), partition_by=key
+        )
+        result, collector = run_once(run_config)
+        rows.append(
+            row_from(run_config, backend_name, int(workers), result, collector, baseline)
         )
     return rows

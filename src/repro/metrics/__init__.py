@@ -1,7 +1,7 @@
 """Performance metrics collected by the experiment harness."""
 
 from repro.metrics.run_metrics import RunMetrics, ThroughputTimer, aggregate_metrics
-from repro.metrics.stage_metrics import PipelineMetrics, StageTiming
+from repro.metrics.stage_metrics import PipelineMetrics, StageTiming, WorkerLaneMetrics
 
 __all__ = [
     "RunMetrics",
@@ -9,4 +9,5 @@ __all__ = [
     "aggregate_metrics",
     "PipelineMetrics",
     "StageTiming",
+    "WorkerLaneMetrics",
 ]

@@ -55,14 +55,51 @@ class StageTiming:
 
 
 @dataclass
+class WorkerLaneMetrics:
+    """Per-worker gauges of a multi-core streaming backend.
+
+    One lane per shard worker: how many events/batches the worker consumed,
+    the high-water mark of its bounded hand-off queue (in batches) and the
+    worker-side batch-processing latency.  A skewed partitioner shows up as
+    one lane doing most of the events; an overloaded worker shows up as its
+    queue high-water pinned at capacity while the others stay shallow.
+    """
+
+    shard_id: int
+    events_processed: int = 0
+    batches_consumed: int = 0
+    queue_high_water: int = 0
+    processing: StageTiming = field(default_factory=StageTiming)
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.queue_high_water:
+            self.queue_high_water = depth
+
+    def observe_batch(self, events: int, seconds: float) -> None:
+        self.events_processed += events
+        self.batches_consumed += 1
+        self.processing.observe(seconds)
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkerLaneMetrics(shard={self.shard_id}, "
+            f"events={self.events_processed}, "
+            f"batches={self.batches_consumed}, "
+            f"queue_hw={self.queue_high_water})"
+        )
+
+
+@dataclass
 class PipelineMetrics:
     """Counters and per-stage timings of one pipeline run.
 
     ``source`` measures time spent pulling events (including any rate-limit
-    sleeps and file-tail polling), ``engine`` the per-event detection work,
-    ``sink`` the per-event match emission, and ``checkpoint`` each state
-    snapshot.  Queue metrics describe the staging buffer between the source
-    and the engine.
+    sleeps and file-tail polling), ``engine`` the per-event detection work
+    (for worker backends: the hand-off into the shard queues), ``sink`` the
+    per-event match emission, and ``checkpoint`` each state snapshot.  Queue
+    metrics describe the staging buffer between the source and the engine;
+    ``workers`` holds one :class:`WorkerLaneMetrics` per shard worker when a
+    multi-core backend is attached.
     """
 
     source: StageTiming = field(default_factory=StageTiming)
@@ -75,10 +112,18 @@ class PipelineMetrics:
     matches_emitted: int = 0
     checkpoints_written: int = 0
     queue_high_water: int = 0
+    workers: Dict[int, WorkerLaneMetrics] = field(default_factory=dict)
 
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.queue_high_water:
             self.queue_high_water = depth
+
+    def worker_lane(self, shard_id: int) -> WorkerLaneMetrics:
+        """The (created-on-first-use) lane gauges for one shard worker."""
+        lane = self.workers.get(shard_id)
+        if lane is None:
+            lane = self.workers[shard_id] = WorkerLaneMetrics(shard_id=shard_id)
+        return lane
 
     @property
     def shed_fraction(self) -> float:
@@ -88,7 +133,7 @@ class PipelineMetrics:
 
     def as_row(self) -> Dict[str, float]:
         """Flat dictionary representation used by report tables."""
-        return {
+        row = {
             "events": float(self.events_processed),
             "matches": float(self.matches_emitted),
             "shed": float(self.events_shed),
@@ -100,6 +145,17 @@ class PipelineMetrics:
             "engine_ms_max": self.engine.max_seconds * 1e3,
             "sink_ms_mean": self.sink.mean_seconds * 1e3,
         }
+        if self.workers:
+            lanes = list(self.workers.values())
+            row["workers"] = float(len(lanes))
+            row["worker_queue_hw_max"] = float(
+                max(lane.queue_high_water for lane in lanes)
+            )
+            row["worker_batch_ms_mean"] = (
+                sum(lane.processing.total_seconds for lane in lanes)
+                / max(1, sum(lane.processing.observations for lane in lanes))
+            ) * 1e3
+        return row
 
     def __repr__(self) -> str:
         return (

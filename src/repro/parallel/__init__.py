@@ -44,6 +44,7 @@ from repro.parallel.executor import (
     ShardExecutor,
 )
 from repro.parallel.merger import (
+    UNBOUNDED_DEDUP_WINDOW,
     StreamingMatchDeduplicator,
     match_signature,
     merge_matches,
@@ -55,7 +56,7 @@ from repro.parallel.partitioner import (
     Partitioner,
     RoundRobinPartitioner,
 )
-from repro.parallel.shard import Shard, ShardedEngine, ShardOutput
+from repro.parallel.shard import Shard, ShardedEngine, ShardOutput, build_replica
 from repro.patterns import CompositePattern, Pattern
 from repro.statistics import StatisticsProvider, StatisticsSnapshot
 
@@ -166,7 +167,7 @@ class ParallelCEPEngine:
             self._streaming_dedup = StreamingMatchDeduplicator(
                 window=self.pattern.window
                 if self.pattern.window != float("inf")
-                else 100.0
+                else UNBOUNDED_DEDUP_WINDOW
             )
         matches = self._sharded.process_event(event, self._partitioner)
         if not matches:
@@ -237,6 +238,7 @@ __all__ = [
     "Shard",
     "ShardOutput",
     "ShardedEngine",
+    "build_replica",
     # batching
     "EventBatch",
     "batched",
@@ -250,4 +252,5 @@ __all__ = [
     "merge_matches",
     "merge_outputs",
     "StreamingMatchDeduplicator",
+    "UNBOUNDED_DEDUP_WINDOW",
 ]

@@ -24,6 +24,11 @@ from repro.engine import Match, RunResult
 from repro.metrics import RunMetrics
 from repro.parallel.shard import ShardOutput
 
+#: Deduplication window substituted for patterns with an unbounded window
+#: (shared by the inline streaming path and the worker backends, so every
+#: execution mode evicts duplicate signatures at the same stream horizon).
+UNBOUNDED_DEDUP_WINDOW = 100.0
+
 
 def match_signature(match: Match) -> Tuple:
     """Canonical identity of a match: pattern plus per-variable event ids."""

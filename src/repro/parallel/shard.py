@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import copy
 from dataclasses import dataclass, field
-from typing import List, Optional, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.adaptive import ReoptimizationPolicy
 from repro.engine import AdaptiveCEPEngine, Match, MultiPatternEngine
@@ -51,12 +51,21 @@ class Shard:
     A shard is self-contained and picklable: the multiprocess executor
     ships the whole object (engine state and buffered events) to a worker
     process and gets a :class:`ShardOutput` back.
+
+    Two lifecycles are supported.  The batch path buffers input with
+    :meth:`add_batch` and drains it with the run-to-completion :meth:`run`.
+    The streaming-worker path instead alternates :meth:`feed` (process a
+    batch incrementally, return the matches it produced *now*) with a final
+    :meth:`flush` — the init/feed/flush split that lets a long-lived worker
+    host the replica across an unbounded stream.
     """
 
     def __init__(self, shard_id: int, engine: EngineLike):
         self.shard_id = shard_id
         self.engine = engine
         self._batches: List[EventBatch] = []
+        self.events_fed = 0
+        self.matches_found = 0
 
     def add_batch(self, batch: EventBatch) -> None:
         self._batches.append(batch)
@@ -86,6 +95,44 @@ class Shard:
             matches=result.matches,
             metrics=result.metrics,
             plan_history=result.plan_history,
+        )
+
+    # ------------------------------------------------------------------
+    # Streaming-worker lifecycle (init / feed / flush)
+    # ------------------------------------------------------------------
+    def feed(self, events: Sequence[Event]) -> List[Match]:
+        """Process one batch incrementally; return the matches found now.
+
+        Unlike :meth:`run`, the replica keeps its open partial matches and
+        adaptation state between calls — the shape a long-lived worker
+        process needs.  Events must arrive in non-decreasing timestamp
+        order across calls (the same contract the engines place on a
+        stream).
+        """
+        matches: List[Match] = []
+        for event in events:
+            matches.extend(self.engine.process(event))
+        self.events_fed += len(events)
+        self.matches_found += len(matches)
+        return matches
+
+    def flush(self) -> ShardOutput:
+        """End the streaming lifecycle: summarize the fed work.
+
+        The engines detect eagerly (every match is returned by the
+        :meth:`feed` that completed it), so flushing emits no new matches —
+        it closes the books: a picklable :class:`ShardOutput` with the
+        replica's counters and plan history for the coordinator to merge.
+        """
+        metrics = RunMetrics(
+            events_processed=self.events_fed,
+            matches_emitted=self.matches_found,
+        )
+        return ShardOutput(
+            shard_id=self.shard_id,
+            matches=[],
+            metrics=metrics,
+            plan_history=list(getattr(self.engine, "plan_history", [])),
         )
 
     def __repr__(self) -> str:
@@ -119,7 +166,7 @@ class ShardedEngine:
         self._shards = [
             Shard(
                 shard_id,
-                _build_replica(
+                build_replica(
                     pattern,
                     planner,
                     policy,
@@ -182,7 +229,7 @@ class ShardedEngine:
         return ingested
 
 
-def _build_replica(
+def build_replica(
     pattern: PatternLike,
     planner: PlanGenerator,
     policy: ReoptimizationPolicy,

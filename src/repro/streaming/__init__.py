@@ -30,7 +30,11 @@ The building blocks:
   kill/resume with no lost and no duplicated matches;
 * **the pipeline** (:mod:`~repro.streaming.pipeline`) — the run loop
   wiring it all together, with per-stage latency/queue metrics and
-  graceful shutdown.
+  graceful shutdown;
+* **execution backends** (:mod:`~repro.streaming.workers`) — where the
+  detection runs: inline in the pipeline thread, or on per-shard worker
+  threads/processes fed by bounded queues for true multi-core serving
+  (``--backend process --workers N`` on the CLI).
 
 The CLI front-end is ``python -m repro.experiments.cli serve``.
 """
@@ -68,6 +72,15 @@ from repro.streaming.sources import (
     write_events_csv,
     write_events_jsonl,
 )
+from repro.streaming.workers import (
+    DEFAULT_FEED_BATCH,
+    DEFAULT_QUEUE_CAPACITY,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessWorkerBackend,
+    ThreadWorkerBackend,
+    backend_by_name,
+)
 
 __all__ = [
     # pipeline
@@ -101,4 +114,12 @@ __all__ = [
     # checkpointing
     "Checkpoint",
     "CheckpointStore",
+    # execution backends (multi-core streaming)
+    "ExecutionBackend",
+    "InlineBackend",
+    "ThreadWorkerBackend",
+    "ProcessWorkerBackend",
+    "backend_by_name",
+    "DEFAULT_FEED_BATCH",
+    "DEFAULT_QUEUE_CAPACITY",
 ]

@@ -22,7 +22,7 @@ import re
 import tempfile
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import CheckpointError
 
@@ -59,13 +59,22 @@ class CheckpointStore:
     keep:
         How many most-recent checkpoints to retain (older ones are pruned
         after each successful save).
+    clock:
+        Wall-clock source stamped into ``created_at`` (injectable for
+        deterministic tests, like the sources' and pipeline's clocks).
     """
 
-    def __init__(self, directory: str, keep: int = 2):
+    def __init__(
+        self,
+        directory: str,
+        keep: int = 2,
+        clock: Callable[[], float] = time.time,
+    ):
         if keep < 1:
             raise CheckpointError(f"keep must be positive, got {keep!r}")
         self.directory = directory
         self.keep = int(keep)
+        self._clock = clock
 
     # ------------------------------------------------------------------
     # Listing
@@ -97,7 +106,7 @@ class CheckpointStore:
         os.makedirs(self.directory, exist_ok=True)
         latest = self.latest_index()
         checkpoint.index = 0 if latest is None else latest + 1
-        checkpoint.created_at = time.time()
+        checkpoint.created_at = self._clock()
         path = self._path(checkpoint.index)
         descriptor, temp_path = tempfile.mkstemp(
             dir=self.directory, prefix=".checkpoint-", suffix=".tmp"

@@ -23,6 +23,12 @@ long-running, incrementally-fed service:
 Two ingestion styles are supported: the pull-driven :meth:`run` loop
 (sources) and the push-style :meth:`submit` / :meth:`drain` pair (for
 callers that receive events from elsewhere and cannot be pulled from).
+
+Where the detection work happens is pluggable: passing an
+:class:`~repro.streaming.workers.ExecutionBackend` instead of a bare
+engine routes events to per-shard worker threads or processes (see
+:mod:`repro.streaming.workers`); a bare engine is wrapped in the
+single-threaded :class:`~repro.streaming.workers.InlineBackend`.
 """
 
 from __future__ import annotations
@@ -32,7 +38,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.engine import Match
-from repro.engine.state import restore_engine, snapshot_engine
 from repro.errors import CheckpointError, StreamingError
 from repro.events import Event, EventStream
 from repro.metrics import PipelineMetrics
@@ -40,6 +45,7 @@ from repro.streaming.buffer import BoundedBuffer, OverflowPolicy
 from repro.streaming.checkpoint import Checkpoint, CheckpointStore
 from repro.streaming.sinks import MatchSink
 from repro.streaming.sources import EventSource, IterableSource
+from repro.streaming.workers import ExecutionBackend, InlineBackend
 
 #: How many events one fill phase pulls at most (bounds per-iteration latency).
 DEFAULT_FILL_CHUNK = 256
@@ -84,7 +90,10 @@ class StreamingPipeline:
         Any engine exposing ``process(event) -> List[Match]`` — the
         sequential :class:`~repro.engine.AdaptiveCEPEngine`, the
         :class:`~repro.engine.MultiPatternEngine`, or the sharded
-        :class:`~repro.parallel.ParallelCEPEngine` in streaming mode.
+        :class:`~repro.parallel.ParallelCEPEngine` in streaming mode —
+        or an :class:`~repro.streaming.workers.ExecutionBackend` (e.g. a
+        :class:`~repro.streaming.workers.ProcessWorkerBackend` for true
+        multi-core detection).  A bare engine runs inline.
     source:
         An :class:`~repro.streaming.sources.EventSource`, any
         :class:`~repro.events.EventStream`, or a plain iterable of events
@@ -114,10 +123,9 @@ class StreamingPipeline:
         fill_chunk: int = DEFAULT_FILL_CHUNK,
         clock: Callable[[], float] = time.perf_counter,
     ):
-        if not callable(getattr(engine, "process", None)):
-            raise StreamingError(
-                f"engine {type(engine).__name__} has no process() method"
-            )
+        self._backend = (
+            engine if isinstance(engine, ExecutionBackend) else InlineBackend(engine)
+        )
         if checkpoint_every < 0:
             raise StreamingError(
                 f"checkpoint_every must be non-negative, got {checkpoint_every!r}"
@@ -128,7 +136,6 @@ class StreamingPipeline:
             )
         if fill_chunk < 1:
             raise StreamingError(f"fill_chunk must be positive, got {fill_chunk!r}")
-        self._engine = engine
         self._source = (
             source if isinstance(source, EventSource) else IterableSource(source)
         )
@@ -140,6 +147,7 @@ class StreamingPipeline:
         self._clock = clock
 
         self.metrics = PipelineMetrics()
+        self._backend.bind_metrics(self.metrics)
         self._events_processed_total = 0
         self._matches_emitted_total = 0
         self._events_at_last_checkpoint = 0
@@ -151,8 +159,18 @@ class StreamingPipeline:
     # ------------------------------------------------------------------
     @property
     def engine(self):
-        """The live engine (replaced by the restored one after a resume)."""
-        return self._engine
+        """The live engine (replaced by the restored one after a resume).
+
+        With a worker backend this is the backend's template engine —
+        process-backend replicas are refreshed from the workers at every
+        checkpoint and on shutdown.
+        """
+        return self._backend.engine
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """Where detection runs: inline, thread workers or process workers."""
+        return self._backend
 
     @property
     def source(self) -> EventSource:
@@ -196,8 +214,7 @@ class StreamingPipeline:
     # Checkpointing
     # ------------------------------------------------------------------
     def _restore_from(self, checkpoint: Checkpoint) -> None:
-        pattern = getattr(self._engine, "pattern", None)
-        pattern_name = getattr(pattern, "name", "")
+        pattern_name = getattr(self._backend.pattern, "name", "")
         if (
             checkpoint.pattern_name
             and pattern_name
@@ -208,7 +225,7 @@ class StreamingPipeline:
                 f"but this pipeline runs {pattern_name!r}; clear the store "
                 "or point it elsewhere"
             )
-        self._engine = restore_engine(checkpoint.engine_blob)
+        self._backend.restore(checkpoint.engine_blob)
         self._events_processed_total = checkpoint.events_processed
         self._matches_emitted_total = checkpoint.matches_emitted
         self._events_at_last_checkpoint = checkpoint.events_processed
@@ -227,15 +244,18 @@ class StreamingPipeline:
         if self._store is None:
             return
         started = self._clock()
+        # Barrier first: with a worker backend the snapshot below is only a
+        # consistent cut once every submitted event has been processed and
+        # its matches have reached the sinks.
+        self._emit(self._backend.flush())
         for sink in self._sinks:
             sink.flush()
-        pattern = getattr(self._engine, "pattern", None)
         checkpoint = Checkpoint(
             events_processed=self._events_processed_total,
             matches_emitted=self._matches_emitted_total,
-            engine_blob=snapshot_engine(self._engine),
+            engine_blob=self._backend.snapshot(),
             sink_states=[sink.state() for sink in self._sinks],
-            pattern_name=getattr(pattern, "name", ""),
+            pattern_name=getattr(self._backend.pattern, "name", ""),
         )
         self._store.save(checkpoint)
         self._events_at_last_checkpoint = self._events_processed_total
@@ -260,7 +280,11 @@ class StreamingPipeline:
         return consumed
 
     def drain(self, max_events: Optional[int] = None) -> List[Match]:
-        """Process buffered events now; returns the matches they produced."""
+        """Process buffered events now; returns the matches they produced.
+
+        With a worker backend this includes a barrier, so every drained
+        event's matches are returned (not just the ones ready so far).
+        """
         collected: List[Match] = []
         processed = 0
         while len(self._buffer) > 0:
@@ -268,27 +292,40 @@ class StreamingPipeline:
                 break
             collected.extend(self._process_one(self._buffer.pop()))
             processed += 1
+        tail = self._backend.flush()
+        self._emit(tail)
+        collected.extend(tail)
         self.metrics.events_shed += self._buffer.events_shed
         self._buffer.events_shed = 0
         return collected
 
+    def close(self) -> None:
+        """Release backend workers (push-style callers; run() does this)."""
+        self._backend.close()
+
     # ------------------------------------------------------------------
     # The run loop
     # ------------------------------------------------------------------
+    def _emit(self, matches: List[Match]) -> None:
+        """Deliver matches to every sink and account for them."""
+        if not matches:
+            return
+        sink_started = self._clock()
+        for sink in self._sinks:
+            for match in matches:
+                sink.emit(match)
+        self.metrics.sink.observe(self._clock() - sink_started)
+        self._matches_emitted_total += len(matches)
+        self.metrics.matches_emitted += len(matches)
+
     def _process_one(self, event: Event) -> List[Match]:
         started = self._clock()
-        matches = self._engine.process(event)
+        self._backend.submit(event)
         self.metrics.engine.observe(self._clock() - started)
         self._events_processed_total += 1
         self.metrics.events_processed += 1
-        if matches:
-            sink_started = self._clock()
-            for sink in self._sinks:
-                for match in matches:
-                    sink.emit(match)
-            self.metrics.sink.observe(self._clock() - sink_started)
-            self._matches_emitted_total += len(matches)
-            self.metrics.matches_emitted += len(matches)
+        matches = self._backend.collect()
+        self._emit(matches)
         if (
             self._checkpoint_every
             and self._events_processed_total - self._events_at_last_checkpoint
@@ -330,6 +367,7 @@ class StreamingPipeline:
                     resumed_from = checkpoint.events_processed
             for sink in self._sinks:
                 sink.open()
+            self._backend.start()
 
             started = self._clock()
             events_before = self.metrics.events_processed
@@ -389,12 +427,20 @@ class StreamingPipeline:
                     self._process_one(self._buffer.pop())
                     processed_this_run += 1
 
+            # Barrier: with a worker backend, matches for the last submitted
+            # events may still be in flight — wait for them and deliver.
+            self._emit(self._backend.flush())
             duration = self._clock() - started
             if final_checkpoint and self._store is not None:
                 if self._events_processed_total > self._events_at_last_checkpoint:
                     self._write_checkpoint()
             for sink in self._sinks:
                 sink.flush()
+            # Stop the workers before reading plan history: the process
+            # backend only ships its replicas' final state (including the
+            # plans they adapted to) back on close.  Idempotent — the
+            # finally-block close becomes a no-op.
+            self._backend.close()
 
             self.metrics.events_shed += self._buffer.events_shed
             self._buffer.events_shed = 0
@@ -407,16 +453,18 @@ class StreamingPipeline:
                 resumed_from=resumed_from,
                 total_events_processed=self._events_processed_total,
                 total_matches_emitted=self._matches_emitted_total,
-                plan_history=list(getattr(self._engine, "plan_history", [])),
+                plan_history=self._backend.plan_history(),
             )
         finally:
             self._running = False
+            self._backend.close()
             for sink in self._sinks:
                 sink.close()
 
     def __repr__(self) -> str:
         return (
-            f"<StreamingPipeline engine={type(self._engine).__name__} "
+            f"<StreamingPipeline backend={self._backend.name} "
+            f"engine={type(self._backend.engine).__name__} "
             f"source={self._source.name} sinks={len(self._sinks)} "
             f"processed={self._events_processed_total}>"
         )

@@ -1,0 +1,227 @@
+"""Crash-recovery fuzz: kill the multi-worker pipeline anywhere, lose nothing.
+
+The pipeline's contract is exactly-once match delivery across a hard kill:
+a killed service resumes from its last checkpoint, re-processes only the
+post-checkpoint suffix, and the sink rollback withdraws matches the resume
+will re-derive.  This suite fuzzes that contract for the multi-core worker
+backends by killing the pipeline at ≥10 seeded, randomized event offsets
+(`final_checkpoint=False` simulates the kill: the in-memory state is
+discarded without a final snapshot, exactly as SIGKILL would) and checking
+that the served match file always ends up byte-identical to an
+uninterrupted sequential run.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.adaptive import InvariantBasedPolicy
+from repro.conditions import AndCondition, EqualityCondition
+from repro.engine import AdaptiveCEPEngine
+from repro.events import EventType
+from repro.optimizer import GreedyOrderPlanner
+from repro.parallel import BroadcastPartitioner, KeyPartitioner, ParallelCEPEngine
+from repro.patterns import seq
+from repro.streaming import (
+    CheckpointStore,
+    JSONLMatchWriter,
+    ProcessWorkerBackend,
+    ReplaySource,
+    StreamingPipeline,
+    ThreadWorkerBackend,
+)
+from repro.streaming.sinks import match_record
+from tests.conftest import make_camera_stream
+
+EVENT_COUNT = 400
+CHECKPOINT_EVERY = 40
+KILL_POINTS = 10
+FUZZ_SEED = 20260730
+
+
+def _pattern():
+    a, b, c = EventType("A"), EventType("B"), EventType("C")
+    condition = AndCondition(
+        [
+            EqualityCondition("a", "b", "person_id"),
+            EqualityCondition("b", "c", "person_id"),
+        ]
+    )
+    return seq([a, b, c], condition=condition, window=10.0)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    pattern = _pattern()
+    events = make_camera_stream(count=EVENT_COUNT, seed=31).to_list()
+    expected = sorted(
+        json.dumps(match_record(match))
+        for match in AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy()
+        )
+        .run(events)
+        .matches
+    )
+    assert expected, "fuzz workload must produce matches"
+    return pattern, events, expected
+
+
+def _build_pipeline(pattern, events, sink_path, store, backend_cls, partitioner):
+    engine = ParallelCEPEngine(
+        pattern,
+        GreedyOrderPlanner(),
+        InvariantBasedPolicy(),
+        shards=2,
+        partitioner=partitioner,
+    )
+    backend = backend_cls(engine, feed_batch=8)
+    return StreamingPipeline(
+        backend,
+        ReplaySource(events),
+        sinks=[JSONLMatchWriter(sink_path)],
+        checkpoint_store=store,
+        checkpoint_every=CHECKPOINT_EVERY,
+    )
+
+
+def _kill_resume_verify(
+    pattern, events, expected, tmp_path, label, kill_at, backend_cls, partitioner
+):
+    sink_path = str(tmp_path / f"matches-{label}.jsonl")
+    store = CheckpointStore(str(tmp_path / f"ckpt-{label}"))
+
+    def build():
+        return _build_pipeline(
+            pattern, events, sink_path, store, backend_cls, partitioner
+        )
+
+    # Kill: process exactly `kill_at` events, then drop all in-memory state
+    # without a final checkpoint — the worker engines, the dedup filter and
+    # the pipeline counters are lost; only the store and the sink file stay.
+    first = build().run(max_events=kill_at, final_checkpoint=False)
+    assert first.stop_reason == "max-events"
+
+    second = build().run()
+    assert second.stop_reason == "source-exhausted"
+    expected_resume = (kill_at // CHECKPOINT_EVERY) * CHECKPOINT_EVERY
+    assert second.resumed_from == expected_resume
+    assert second.total_events_processed == len(events)
+
+    served = sorted(
+        line for line in open(sink_path).read().splitlines() if line
+    )
+    assert served == expected, (
+        f"kill at event {kill_at}: served {len(served)} matches, "
+        f"expected {len(expected)} (lost or duplicated across the resume)"
+    )
+
+
+def _fuzz_offsets():
+    rng = random.Random(FUZZ_SEED)
+    # Strictly between the first checkpoint and the end, so every kill has
+    # a checkpoint to resume from and a suffix left to re-process.
+    return sorted(rng.sample(range(CHECKPOINT_EVERY + 1, EVENT_COUNT - 5), KILL_POINTS))
+
+
+@pytest.mark.parametrize("kill_at", _fuzz_offsets())
+def test_thread_worker_kill_resume_fuzz(workload, tmp_path, kill_at):
+    pattern, events, expected = workload
+    _kill_resume_verify(
+        pattern,
+        events,
+        expected,
+        tmp_path,
+        f"thread-{kill_at}",
+        kill_at,
+        ThreadWorkerBackend,
+        BroadcastPartitioner(),
+    )
+
+
+@pytest.mark.parametrize(
+    "kill_at", _fuzz_offsets()[:: max(1, KILL_POINTS // 3)][:3]
+)
+def test_process_worker_kill_resume_fuzz(workload, tmp_path, kill_at):
+    """The process backend re-runs a subset (worker start-up is expensive)."""
+    pattern, events, expected = workload
+    _kill_resume_verify(
+        pattern,
+        events,
+        expected,
+        tmp_path,
+        f"process-{kill_at}",
+        kill_at,
+        ProcessWorkerBackend,
+        BroadcastPartitioner(),
+    )
+
+
+def test_key_partitioned_kill_resume(workload, tmp_path):
+    """Key partitioning (no duplicate suppression in play) survives a kill."""
+    pattern, events, expected = workload
+    _kill_resume_verify(
+        pattern,
+        events,
+        expected,
+        tmp_path,
+        "keyed",
+        EVENT_COUNT // 2,
+        ThreadWorkerBackend,
+        KeyPartitioner("person_id"),
+    )
+
+
+def test_double_kill_resume(workload, tmp_path):
+    """Two consecutive kills (kill → resume → kill → resume) stay lossless."""
+    pattern, events, expected = workload
+    sink_path = str(tmp_path / "matches-double.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-double"))
+
+    def build():
+        return _build_pipeline(
+            pattern,
+            events,
+            sink_path,
+            store,
+            ThreadWorkerBackend,
+            BroadcastPartitioner(),
+        )
+
+    build().run(max_events=130, final_checkpoint=False)
+    build().run(max_events=150, final_checkpoint=False)  # resumes at 120, dies again
+    final = build().run()
+    assert final.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected
+
+
+def test_inline_checkpoint_resumes_on_worker_backend(workload, tmp_path):
+    """Backend upgrade mid-life: inline checkpoints feed a worker resume."""
+    pattern, events, expected = workload
+    sink_path = str(tmp_path / "matches-upgrade.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-upgrade"))
+
+    inline_engine = ParallelCEPEngine(
+        pattern,
+        GreedyOrderPlanner(),
+        InvariantBasedPolicy(),
+        shards=2,
+        partitioner=BroadcastPartitioner(),
+    )
+    StreamingPipeline(
+        inline_engine,
+        ReplaySource(events),
+        sinks=[JSONLMatchWriter(sink_path)],
+        checkpoint_store=store,
+        checkpoint_every=CHECKPOINT_EVERY,
+    ).run(max_events=200, final_checkpoint=False)
+
+    second = _build_pipeline(
+        pattern, events, sink_path, store, ProcessWorkerBackend, BroadcastPartitioner()
+    ).run()
+    assert second.resumed_from == 200 - (200 % CHECKPOINT_EVERY)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected

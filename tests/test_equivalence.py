@@ -1,0 +1,195 @@
+"""Cross-engine equivalence: every execution mode finds the same matches.
+
+The paper's correctness invariant — plan adaptation, sharding and the
+streaming runtime change *how fast* detection runs, never *what* is
+detected — is enforced here as a differential harness.  One seeded
+workload is pushed through every execution mode the library offers:
+
+1. sequential ``AdaptiveCEPEngine.run`` (the reference),
+2. batch ``ParallelCEPEngine.run`` with the serial executor,
+3. batch ``ParallelCEPEngine.run`` with the multiprocess executor,
+4. streaming pipeline, inline backend, sequential engine,
+5. streaming pipeline, inline backend, sharded engine (``process()``),
+6. streaming pipeline, thread worker backend,
+7. streaming pipeline, process worker backend,
+
+and the *byte-identical* sorted JSON records of the match sets are
+compared.  Sorting removes the one legitimate difference (emission order
+across shards); everything else — bindings, timestamps, sequence numbers,
+detection times — must agree exactly.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.adaptive import InvariantBasedPolicy
+from repro.conditions import AndCondition, EqualityCondition
+from repro.datasets import StockDatasetSimulator
+from repro.engine import AdaptiveCEPEngine
+from repro.events import EventType
+from repro.optimizer import GreedyOrderPlanner
+from repro.parallel import (
+    BroadcastPartitioner,
+    KeyPartitioner,
+    MultiprocessExecutor,
+    ParallelCEPEngine,
+    SerialExecutor,
+)
+from repro.patterns import seq
+from repro.streaming import (
+    CollectorSink,
+    ProcessWorkerBackend,
+    ReplaySource,
+    StreamingPipeline,
+    ThreadWorkerBackend,
+)
+from repro.streaming.sinks import match_record
+from repro.workloads import WorkloadGenerator
+from tests.conftest import make_camera_stream
+
+SHARDS = 2
+
+
+def _records(matches):
+    """Byte-comparable canonical form: sorted JSON lines."""
+    return sorted(json.dumps(match_record(match)) for match in matches)
+
+
+def _planner():
+    return GreedyOrderPlanner()
+
+
+def _policy():
+    return InvariantBasedPolicy()
+
+
+def _parallel(pattern, partitioner, executor=None):
+    return ParallelCEPEngine(
+        pattern,
+        _planner(),
+        _policy(),
+        shards=SHARDS,
+        partitioner=partitioner,
+        executor=executor,
+    )
+
+
+# ----------------------------------------------------------------------
+# Execution modes
+# ----------------------------------------------------------------------
+def run_sequential(pattern, events, partitioner):
+    engine = AdaptiveCEPEngine(pattern, _planner(), _policy())
+    return engine.run(events).matches
+
+
+def run_batch_serial(pattern, events, partitioner):
+    return _parallel(pattern, partitioner, SerialExecutor()).run(events).matches
+
+
+def run_batch_multiprocess(pattern, events, partitioner):
+    executor = MultiprocessExecutor(max_workers=SHARDS)
+    return _parallel(pattern, partitioner, executor).run(events).matches
+
+
+def run_pipeline_inline(pattern, events, partitioner):
+    sink = CollectorSink()
+    engine = AdaptiveCEPEngine(pattern, _planner(), _policy())
+    StreamingPipeline(engine, ReplaySource(events), sinks=[sink]).run()
+    return sink.matches
+
+
+def run_pipeline_inline_sharded(pattern, events, partitioner):
+    sink = CollectorSink()
+    engine = _parallel(pattern, partitioner)
+    StreamingPipeline(engine, ReplaySource(events), sinks=[sink]).run()
+    return sink.matches
+
+
+def run_pipeline_thread_workers(pattern, events, partitioner):
+    sink = CollectorSink()
+    backend = ThreadWorkerBackend(_parallel(pattern, partitioner), feed_batch=16)
+    StreamingPipeline(backend, ReplaySource(events), sinks=[sink]).run()
+    return sink.matches
+
+
+def run_pipeline_process_workers(pattern, events, partitioner):
+    sink = CollectorSink()
+    backend = ProcessWorkerBackend(_parallel(pattern, partitioner), feed_batch=16)
+    StreamingPipeline(backend, ReplaySource(events), sinks=[sink]).run()
+    return sink.matches
+
+
+MODES = {
+    "batch-serial": run_batch_serial,
+    "batch-multiprocess": run_batch_multiprocess,
+    "pipeline-inline": run_pipeline_inline,
+    "pipeline-inline-sharded": run_pipeline_inline_sharded,
+    "pipeline-thread-workers": run_pipeline_thread_workers,
+    "pipeline-process-workers": run_pipeline_process_workers,
+}
+
+
+# ----------------------------------------------------------------------
+# Workloads (seeded, deterministic)
+# ----------------------------------------------------------------------
+def _camera_workload():
+    """Broadcast-partitioned workload: the paper's Example 1 pattern."""
+    a, b, c = EventType("A"), EventType("B"), EventType("C")
+    condition = AndCondition(
+        [
+            EqualityCondition("a", "b", "person_id"),
+            EqualityCondition("b", "c", "person_id"),
+        ]
+    )
+    pattern = seq([a, b, c], condition=condition, window=10.0)
+    events = make_camera_stream(count=300, seed=21).to_list()
+    return pattern, events, BroadcastPartitioner()
+
+
+def _keyed_workload():
+    """Key-partitioned workload: multi-entity stocks stream."""
+    dataset = StockDatasetSimulator(duration_hint=60.0)
+    workload = WorkloadGenerator(dataset, seed=1)
+    pattern, stream = workload.keyed_workload(
+        3, duration=60.0, entities=4, max_events=2000
+    )
+    return pattern, stream.to_list(), KeyPartitioner("entity_id")
+
+
+WORKLOADS = {
+    "camera-broadcast": _camera_workload,
+    "stocks-keyed": _keyed_workload,
+}
+
+
+@pytest.fixture(scope="module")
+def references():
+    """Reference match records per workload (computed once)."""
+    cache = {}
+    for name, build in WORKLOADS.items():
+        pattern, events, partitioner = build()
+        reference = _records(run_sequential(pattern, events, partitioner))
+        assert reference, f"workload {name} must produce matches"
+        cache[name] = (pattern, events, partitioner, reference)
+    return cache
+
+
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("mode_name", sorted(MODES))
+def test_mode_equals_sequential_reference(references, workload_name, mode_name):
+    pattern, events, partitioner, reference = references[workload_name]
+    matches = MODES[mode_name](pattern, events, partitioner)
+    assert _records(matches) == reference, (
+        f"{mode_name} diverged from the sequential reference on "
+        f"{workload_name}: {len(matches)} matches vs {len(reference)}"
+    )
+
+
+def test_reference_is_nonempty_and_deterministic(references):
+    """Re-running the sequential reference reproduces itself byte-for-byte."""
+    for name, (pattern, events, partitioner, reference) in references.items():
+        again = _records(run_sequential(pattern, events, partitioner))
+        assert again == reference, f"sequential reference for {name} is unstable"

@@ -1,0 +1,224 @@
+"""Property-based tests for partition safety and streaming deduplication.
+
+Hypothesis drives the two components whose correctness the multi-core
+streaming path leans on hardest:
+
+* :class:`~repro.parallel.KeyPartitioner` — routing must be a pure,
+  deterministic function of the partition-key *value* (never the event
+  identity), so every match whose events share a key lands on exactly one
+  shard; the structural safety check must accept key-connected patterns
+  and refuse disconnected ones.
+* :class:`~repro.parallel.StreamingMatchDeduplicator` — a duplicate
+  reported within ``window`` of its first admission must always be
+  suppressed, and a first-seen match must never be dropped, whatever the
+  eviction clock does in between.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.conditions import AndCondition, EqualityCondition  # noqa: E402
+from repro.engine import Match  # noqa: E402
+from repro.errors import PartitionError  # noqa: E402
+from repro.events import Event, EventType  # noqa: E402
+from repro.parallel import KeyPartitioner, StreamingMatchDeduplicator  # noqa: E402
+from repro.patterns import seq  # noqa: E402
+
+SETTINGS = settings(max_examples=60, deadline=None)
+
+key_values = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+    st.booleans(),
+    st.none(),
+)
+
+
+def _event(key_value, extra=0):
+    return Event(EventType("E"), 0.0, {"k": key_value, "noise": extra})
+
+
+# ----------------------------------------------------------------------
+# KeyPartitioner routing
+# ----------------------------------------------------------------------
+class TestKeyPartitionerProperties:
+    @SETTINGS
+    @given(value=key_values, num_shards=st.integers(1, 16))
+    def test_routes_to_exactly_one_shard_in_range(self, value, num_shards):
+        (shard,) = KeyPartitioner("k").route(_event(value), num_shards)
+        assert 0 <= shard < num_shards
+
+    @SETTINGS
+    @given(
+        value=key_values,
+        num_shards=st.integers(1, 16),
+        noise_a=st.integers(),
+        noise_b=st.integers(),
+    )
+    def test_equal_keys_land_on_the_same_shard(
+        self, value, num_shards, noise_a, noise_b
+    ):
+        """Partition safety: routing depends on the key value alone."""
+        partitioner = KeyPartitioner("k")
+        first = partitioner.route(_event(value, noise_a), num_shards)
+        second = partitioner.route(_event(value, noise_b), num_shards)
+        assert first == second
+
+    @SETTINGS
+    @given(value=st.integers(min_value=-(10**6), max_value=10**6), num_shards=st.integers(1, 16))
+    def test_numerically_equal_keys_are_canonicalised(self, value, num_shards):
+        """``7 == 7.0`` under the engine's equality joins ⇒ same shard."""
+        partitioner = KeyPartitioner("k")
+        assert partitioner.route(_event(value), num_shards) == partitioner.route(
+            _event(float(value)), num_shards
+        )
+
+    @SETTINGS
+    @given(num_shards=st.integers(1, 16))
+    def test_bool_keys_follow_python_equality(self, num_shards):
+        partitioner = KeyPartitioner("k")
+        assert partitioner.route(_event(True), num_shards) == partitioner.route(
+            _event(1), num_shards
+        )
+        assert partitioner.route(_event(False), num_shards) == partitioner.route(
+            _event(0.0), num_shards
+        )
+
+    @SETTINGS
+    @given(num_shards=st.integers(1, 16), noise=st.integers())
+    def test_missing_key_routes_deterministically(self, num_shards, noise):
+        partitioner = KeyPartitioner("k")
+        event = Event(EventType("E"), 0.0, {"noise": noise})
+        assert partitioner.route(event, num_shards) == partitioner.route(
+            event, num_shards
+        )
+
+
+# ----------------------------------------------------------------------
+# KeyPartitioner structural safety check
+# ----------------------------------------------------------------------
+_TYPES = [EventType(chr(ord("A") + index)) for index in range(6)]
+_VARIABLES = list("abcdef")
+
+
+def _chain_pattern(size, drop_edge=None):
+    """SEQ of ``size`` items key-joined consecutively (optionally one gap)."""
+    conditions = []
+    for index, (left, right) in enumerate(zip(_VARIABLES, _VARIABLES[1:][: size - 1])):
+        if index == drop_edge:
+            continue
+        conditions.append(EqualityCondition(left, right, "k"))
+    return seq(
+        _TYPES[:size],
+        condition=AndCondition(conditions) if conditions else None,
+        window=10.0,
+        variables=_VARIABLES[:size],
+    )
+
+
+class TestKeyPartitionerValidation:
+    @SETTINGS
+    @given(size=st.integers(2, 6), num_shards=st.integers(2, 8))
+    def test_fully_key_connected_patterns_validate(self, size, num_shards):
+        KeyPartitioner("k").validate(_chain_pattern(size), num_shards)
+
+    @SETTINGS
+    @given(data=st.data(), num_shards=st.integers(2, 8))
+    def test_disconnected_patterns_are_refused(self, data, num_shards):
+        size = data.draw(st.integers(2, 6))
+        drop_edge = data.draw(st.integers(0, size - 2))
+        pattern = _chain_pattern(size, drop_edge=drop_edge)
+        with pytest.raises(PartitionError):
+            KeyPartitioner("k").validate(pattern, num_shards)
+
+    @SETTINGS
+    @given(size=st.integers(2, 6))
+    def test_single_shard_always_validates(self, size):
+        KeyPartitioner("k").validate(_chain_pattern(size, drop_edge=0), 1)
+
+
+# ----------------------------------------------------------------------
+# StreamingMatchDeduplicator window semantics
+# ----------------------------------------------------------------------
+def _match(signature_id, detection_time):
+    event = Event(
+        EventType("T"), detection_time, {}, sequence_number=signature_id
+    )
+    return Match("p", {"x": event}, detection_time)
+
+
+#: Operation stream: (selector, gap).  selector picks "new match" vs which
+#: earlier match to duplicate; gap advances the stream clock.
+dedup_ops = st.lists(
+    st.tuples(st.integers(0, 9), st.floats(0.0, 5.0, allow_nan=False)),
+    min_size=1,
+    max_size=80,
+)
+
+
+class TestDeduplicatorProperties:
+    @SETTINGS
+    @given(window=st.floats(0.5, 20.0, allow_nan=False), ops=dedup_ops)
+    def test_window_semantics(self, window, ops):
+        """Inside the window duplicates are suppressed; first reports never are.
+
+        The one relaxation the implementation documents: a duplicate whose
+        original report has fallen a full window behind the stream clock
+        may be re-admitted (its signature was evicted to bound memory) —
+        so an admitted duplicate must always be older than ``window``.
+        """
+        dedup = StreamingMatchDeduplicator(window=window)
+        log = []  # matches created so far, in creation order
+        now = 0.0
+        next_id = 0
+        for selector, gap in ops:
+            now += gap
+            duplicate = selector < 4 and bool(log)
+            if duplicate:
+                match = log[selector % len(log)]
+            else:
+                match = _match(next_id, now)
+                next_id += 1
+                log.append(match)
+            admitted = dedup.filter([match], now=now)
+            if not duplicate:
+                assert admitted == [match], "a first-seen match was dropped"
+            elif now - match.detection_time <= window:
+                assert admitted == [], (
+                    f"duplicate within the window admitted "
+                    f"(age {now - match.detection_time:g} <= {window:g})"
+                )
+            elif admitted:
+                assert now - match.detection_time > window
+
+    @SETTINGS
+    @given(window=st.floats(0.5, 20.0, allow_nan=False), ops=dedup_ops)
+    def test_memory_is_window_bounded(self, window, ops):
+        """Tracked signatures never span more than two windows of stream time.
+
+        Eviction runs at most once per window of stream time, so right
+        before an eviction the filter may remember up to two windows'
+        worth — but never unboundedly more.
+        """
+        dedup = StreamingMatchDeduplicator(window=window)
+        now = 0.0
+        next_id = 0
+        for _, gap in ops:
+            now += gap
+            dedup.filter([_match(next_id, now)], now=now)
+            next_id += 1
+            if dedup._seen:
+                oldest = min(dedup._seen.values())
+                assert now - oldest <= 2 * window + 1e-9
+
+    def test_distinct_matches_sharing_detection_time_all_admitted(self):
+        dedup = StreamingMatchDeduplicator(window=5.0)
+        matches = [_match(identifier, 1.0) for identifier in range(4)]
+        assert dedup.filter(matches, now=1.0) == matches
+        assert dedup.duplicates_dropped == 0
