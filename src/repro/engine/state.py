@@ -41,6 +41,13 @@ SHARD_SNAPSHOT_MAGIC = b"repro-shard-states"
 #: Bumped whenever the shard-frame layout changes incompatibly.
 SHARD_SNAPSHOT_VERSION = 1
 
+#: Frame prefix identifying an in-flight ordering-stage blob (the reorder
+#: buffer plus staged events — see :func:`snapshot_ordering_state`).
+ORDERING_SNAPSHOT_MAGIC = b"repro-ordering-state"
+
+#: Bumped whenever the ordering-frame layout changes incompatibly.
+ORDERING_SNAPSHOT_VERSION = 1
+
 
 def snapshot_engine(engine: object) -> bytes:
     """Serialize a runtime engine (and all of its mutable state) to bytes.
@@ -163,3 +170,68 @@ def restore_shard_states(blob: bytes) -> Tuple[List[bytes], Dict[str, Any]]:
     if not isinstance(blobs, list) or not isinstance(meta, dict):
         raise CheckpointError("shard snapshot decoded to an unexpected layout")
     return blobs, meta
+
+
+# ----------------------------------------------------------------------
+# Ordering-stage framing (event-time watermarks & the reorder buffer)
+# ----------------------------------------------------------------------
+def is_ordering_snapshot(blob: bytes) -> bool:
+    """Whether ``blob`` is a :func:`snapshot_ordering_state` frame."""
+    return isinstance(blob, (bytes, bytearray)) and bytes(blob).startswith(
+        ORDERING_SNAPSHOT_MAGIC
+    )
+
+
+def snapshot_ordering_state(state: Dict[str, Any]) -> bytes:
+    """Frame a pipeline's in-flight ordering state into one durable blob.
+
+    A pipeline with an event-time ordering stage holds events *outside* the
+    engine at a checkpoint cut: the reorder buffer's pending heap (admitted
+    but not yet released by the watermark) and the staging buffer's released
+    but not yet processed events.  Both must survive a kill, or the resumed
+    run would either lose them (the source offset is past them) or replay
+    them out of order — so they are framed here and carried inside the
+    :class:`~repro.streaming.checkpoint.Checkpoint`.  ``state`` maps
+    ``"ordering"`` to the :class:`~repro.streaming.ordering.ReorderBuffer`
+    and ``"staged"`` to the staged event list.
+    """
+    if "ordering" not in state:
+        raise CheckpointError("ordering snapshot requires an 'ordering' entry")
+    try:
+        payload = pickle.dumps(dict(state), protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(
+            f"ordering state is not picklable (watermark extractors and late "
+            f"side-output sinks must be module-level callables or methods of "
+            f"picklable objects, not closures over open files): {exc}"
+        ) from exc
+    header = ORDERING_SNAPSHOT_MAGIC + bytes([ORDERING_SNAPSHOT_VERSION])
+    return header + pickletools.optimize(payload)
+
+
+def restore_ordering_state(blob: bytes) -> Dict[str, Any]:
+    """Unframe a :func:`snapshot_ordering_state` blob back into its state dict."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise CheckpointError(
+            f"ordering snapshot must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    prefix_length = len(ORDERING_SNAPSHOT_MAGIC) + 1
+    if len(blob) <= prefix_length or not blob.startswith(ORDERING_SNAPSHOT_MAGIC):
+        raise CheckpointError(
+            "not an ordering snapshot (bad magic); was this blob produced by "
+            "snapshot_ordering_state()?"
+        )
+    version = blob[len(ORDERING_SNAPSHOT_MAGIC)]
+    if version != ORDERING_SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"ordering snapshot version {version} is not supported by this "
+            f"library build (expected {ORDERING_SNAPSHOT_VERSION})"
+        )
+    try:
+        state = pickle.loads(blob[prefix_length:])
+    except Exception as exc:
+        raise CheckpointError(f"corrupt ordering snapshot: {exc}") from exc
+    if not isinstance(state, dict) or "ordering" not in state:
+        raise CheckpointError("ordering snapshot decoded to an unexpected layout")
+    return state

@@ -1,7 +1,11 @@
 """Event stream abstractions.
 
-Streams deliver primitive events to the engine in timestamp order.  Two
-concrete implementations are provided:
+Streams deliver primitive events to the engine in timestamp order.  That
+order is a *contract with the consumer*, not a property of the outside
+world: sources that receive events out of order must pass them through the
+event-time machinery of :mod:`repro.streaming.ordering` (watermarks + a
+reorder buffer), which restores non-decreasing timestamp order before the
+events reach any engine.  Two concrete implementations are provided:
 
 * :class:`InMemoryEventStream` wraps a list of events (used by tests,
   examples and the dataset simulators, which materialise their synthetic
@@ -76,6 +80,9 @@ class GeneratorEventStream(EventStream):
     events:
         Any iterable/iterator of :class:`Event` objects in non-decreasing
         timestamp order (not verified — verifying would require buffering).
+        Disordered producers should be wrapped in a
+        :class:`~repro.streaming.ordering.ReorderBuffer` (or handed to a
+        pipeline with ``max_lateness``) rather than fed here directly.
     name:
         Optional label used in error messages and ``repr``.
     """

@@ -17,6 +17,8 @@ and run the engine as a continuously-ingesting service::
     python -m repro.experiments.cli stream-bench --rates 0,2000,8000
     python -m repro.experiments.cli stream-bench --backend process \
         --worker-counts 1,2,4
+    python -m repro.experiments.cli stream-bench --rates 0 \
+        --shuffle-slack 2 --max-lateness 2 --late-policy drop
 
 Each sub-command prints the same plain-text tables the benchmark suite
 reports and optionally writes them as CSV.
@@ -29,6 +31,7 @@ import signal
 import sys
 from typing import List, Optional
 
+from repro.errors import StreamingError
 from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.distance_estimation import distance_estimation_table
@@ -52,6 +55,7 @@ from repro.streaming import (
     MetricsSink,
     ReplaySource,
     StreamingPipeline,
+    bounded_shuffle,
     overflow_policy_by_name,
 )
 
@@ -124,6 +128,52 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         default=0,
         help="shard workers for --backend thread/process (0 = use --shards)",
     )
+
+
+def _add_ordering_options(parser: argparse.ArgumentParser) -> None:
+    """Event-time ordering options (serve / stream-bench)."""
+    parser.add_argument(
+        "--max-lateness",
+        type=float,
+        default=None,
+        help="tolerate out-of-order events up to this many stream-time units: "
+        "arrivals are reordered by event time before detection (default: "
+        "require a timestamp-ordered source)",
+    )
+    parser.add_argument(
+        "--late-policy",
+        choices=("drop", "raise"),
+        default="drop",
+        help="what to do with events behind the watermark (beyond "
+        "--max-lateness): count-and-drop them, or fail the run "
+        "(the side-output policy is available through the API)",
+    )
+    parser.add_argument(
+        "--shuffle-slack",
+        type=float,
+        default=0.0,
+        help="inject seeded bounded disorder (each event displaced by up to "
+        "this many stream-time units) into the synthetic replay — the "
+        "out-of-order smoke mode; pair with --max-lateness >= the slack",
+    )
+
+
+def _validate_ordering_args(args: argparse.Namespace) -> None:
+    """Refuse disorder injection without an ordering stage to absorb it.
+
+    ``--shuffle-slack`` deliberately disorders the replay; without
+    ``--max-lateness`` the pipeline has no reorder buffer and the engines'
+    sorted-input contract is silently violated (corrupted dedup eviction,
+    statistics clamping or a mid-run StatisticsError).  Slack *larger*
+    than the lateness bound is allowed — that is the late-policy stress
+    mode.
+    """
+    if args.shuffle_slack > 0 and args.max_lateness is None:
+        raise StreamingError(
+            "--shuffle-slack injects out-of-order events and requires "
+            "--max-lateness (>= the slack for lossless reordering; smaller "
+            "values exercise the late policy)"
+        )
 
 
 def _maybe_write_csv(rows, path: Optional[str]) -> None:
@@ -246,6 +296,13 @@ def _serve_source(args: argparse.Namespace, config: ExperimentConfig, dataset, w
             )
         else:
             stream = dataset.generate(args.duration, max_events=args.max_events)
+        if args.shuffle_slack > 0:
+            return ReplaySource(
+                bounded_shuffle(
+                    stream.to_list(), args.shuffle_slack, seed=config.stream_seed
+                ),
+                rate=rate,
+            )
         return ReplaySource(stream, rate=rate)
     types = {t.name: t for t in dataset.event_types}
     source_cls = CSVFileSource if args.source.endswith(".csv") else JSONLFileSource
@@ -259,6 +316,7 @@ def _serve_source(args: argparse.Namespace, config: ExperimentConfig, dataset, w
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    _validate_ordering_args(args)
     config = _config_from_args(args)
     dataset = build_dataset(config)
     workload = build_workload(config, dataset)
@@ -280,6 +338,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every if store else 0,
         buffer_capacity=args.buffer_capacity,
         overflow_policy=overflow_policy_by_name(args.overflow),
+        max_lateness=args.max_lateness,
+        late_policy=args.late_policy,
     )
 
     # Graceful shutdown on Ctrl-C: finish the in-flight event, write a final
@@ -339,7 +399,13 @@ def _run_serve(args: argparse.Namespace) -> int:
 
 
 def _run_stream_bench(args: argparse.Namespace) -> int:
+    _validate_ordering_args(args)
     config = _config_from_args(args)
+    ordering_kwargs = dict(
+        shuffle_slack=args.shuffle_slack,
+        max_lateness=args.max_lateness,
+        late_policy=args.late_policy,
+    )
     if args.worker_counts:
         worker_counts = tuple(
             int(part) for part in args.worker_counts.split(",") if part
@@ -349,6 +415,7 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
             worker_counts=worker_counts,
             size=int(args.size),
             entities=args.entities,
+            **ordering_kwargs,
         )
         backend = rows[-1]["backend"] if rows else config.backend
         print(
@@ -372,19 +439,26 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
         return 0
     rates = tuple(float(part) for part in args.rates.split(",") if part)
     rows = rate_sweep_rows(
-        config, rates=rates, size=int(args.size), entities=args.entities
+        config,
+        rates=rates,
+        size=int(args.size),
+        entities=args.entities,
+        **ordering_kwargs,
     )
+    columns = [
+        "rate",
+        "throughput",
+        "engine_ms_mean",
+        "engine_ms_max",
+        "queue_high_water",
+        "matches",
+    ]
+    if args.max_lateness is not None:
+        columns += ["late", "watermark_lag_max"]
     print(
         format_table(
             rows,
-            [
-                "rate",
-                "throughput",
-                "engine_ms_mean",
-                "engine_ms_max",
-                "queue_high_water",
-                "matches",
-            ],
+            columns,
             title=(
                 f"{config.dataset}/{config.algorithm}: pipeline throughput and "
                 f"latency per offered rate (0 = unthrottled)"
@@ -473,6 +547,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(serve)
     _add_backend_options(serve)
+    _add_ordering_options(serve)
     serve.add_argument(
         "--size", type=int, default=3, help="pattern size for the served pattern"
     )
@@ -543,6 +618,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_common_options(stream_bench)
     _add_backend_options(stream_bench)
+    _add_ordering_options(stream_bench)
     stream_bench.add_argument(
         "--size", type=int, default=3, help="pattern size for the benchmark pattern"
     )

@@ -29,7 +29,13 @@ from repro.experiments.runner import (
     build_workload,
 )
 from repro.parallel import ParallelCEPEngine
-from repro.streaming import CollectorSink, ReplaySource, StreamingPipeline, backend_by_name
+from repro.streaming import (
+    CollectorSink,
+    ReplaySource,
+    StreamingPipeline,
+    backend_by_name,
+    bounded_shuffle,
+)
 
 #: Offered arrival rates (events/second); 0 = unthrottled capacity probe.
 DEFAULT_RATES = (0.0, 2000.0, 8000.0, 32000.0)
@@ -82,6 +88,9 @@ def rate_sweep_rows(
     size: int = 3,
     entities: int = 8,
     policy_spec: Optional[PolicySpec] = None,
+    shuffle_slack: float = 0.0,
+    max_lateness: Optional[float] = None,
+    late_policy: str = "drop",
 ) -> List[Dict[str, float]]:
     """One row per offered rate: achieved throughput, latency, queue depth.
 
@@ -90,6 +99,12 @@ def rate_sweep_rows(
     stream otherwise; every rate replays the *same* recorded events, so the
     ``matches`` column must be constant down the table — a built-in
     correctness check, like the match columns of the batch experiments.
+
+    ``shuffle_slack`` injects seeded bounded disorder into the replay and
+    ``max_lateness``/``late_policy`` configure the pipeline's event-time
+    ordering stage — the out-of-order smoke mode: with
+    ``max_lateness >= shuffle_slack`` the ``matches`` column must *still*
+    be constant, now also proving the reordering path.
     """
     spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
     dataset = build_dataset(config)
@@ -111,6 +126,8 @@ def rate_sweep_rows(
             max_events=config.max_events,
         )
     events = stream.to_list()
+    if shuffle_slack > 0:
+        events = bounded_shuffle(events, shuffle_slack, seed=config.stream_seed)
 
     rows: List[Dict[str, float]] = []
     for rate in rates:
@@ -121,6 +138,8 @@ def rate_sweep_rows(
             ReplaySource(events, rate=rate or None),
             sinks=[collector],
             buffer_capacity=max(config.batch_size, 1),
+            max_lateness=max_lateness,
+            late_policy=late_policy,
         )
         result = pipeline.run()
         metrics = result.metrics
@@ -137,6 +156,8 @@ def rate_sweep_rows(
                 "engine_ms_max": metrics.engine.max_seconds * 1e3,
                 "queue_high_water": float(metrics.queue_high_water),
                 "shed": float(metrics.events_shed),
+                "late": float(metrics.late_events),
+                "watermark_lag_max": metrics.watermark_lag.max_seconds,
             }
         )
     return rows
@@ -149,6 +170,9 @@ def worker_sweep_rows(
     entities: int = 8,
     backend: Optional[str] = None,
     policy_spec: Optional[PolicySpec] = None,
+    shuffle_slack: float = 0.0,
+    max_lateness: Optional[float] = None,
+    late_policy: str = "drop",
 ) -> List[Dict[str, float]]:
     """Multi-core streaming scaling: one row per worker count.
 
@@ -175,6 +199,8 @@ def worker_sweep_rows(
         max_events=config.max_events,
     )
     events = stream.to_list()
+    if shuffle_slack > 0:
+        events = bounded_shuffle(events, shuffle_slack, seed=config.stream_seed)
 
     def run_once(run_config: ExperimentConfig):
         engine = build_streaming_engine(run_config, pattern, spec)
@@ -184,6 +210,8 @@ def worker_sweep_rows(
             ReplaySource(events),
             sinks=[collector],
             buffer_capacity=max(config.batch_size, 1),
+            max_lateness=max_lateness,
+            late_policy=late_policy,
         )
         result = pipeline.run()
         return result, collector

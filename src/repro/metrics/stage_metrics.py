@@ -106,17 +106,34 @@ class PipelineMetrics:
     engine: StageTiming = field(default_factory=StageTiming)
     sink: StageTiming = field(default_factory=StageTiming)
     checkpoint: StageTiming = field(default_factory=StageTiming)
+    #: Event-time lag of each arrival behind the stream's high-water mark
+    #: (the maximum timestamp seen so far), in stream-time units (not
+    #: seconds) — the actual disorder the ordering stage is absorbing: 0
+    #: for an in-order arrival, up to ``max_lateness`` (and beyond, for
+    #: late events) under disorder.  Only populated when an ordering stage
+    #: is configured.
+    watermark_lag: StageTiming = field(default_factory=StageTiming)
     events_ingested: int = 0
     events_processed: int = 0
     events_shed: int = 0
+    #: Events that arrived behind the watermark (dropped or side-routed by
+    #: the configured late policy).
+    late_events: int = 0
     matches_emitted: int = 0
     checkpoints_written: int = 0
     queue_high_water: int = 0
+    reorder_depth_high_water: int = 0
     workers: Dict[int, WorkerLaneMetrics] = field(default_factory=dict)
 
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.queue_high_water:
             self.queue_high_water = depth
+
+    def observe_watermark_lag(self, lag: float, reorder_depth: int) -> None:
+        """Record one arrival's event-time lag and the reorder occupancy."""
+        self.watermark_lag.observe(lag)
+        if reorder_depth > self.reorder_depth_high_water:
+            self.reorder_depth_high_water = reorder_depth
 
     def worker_lane(self, shard_id: int) -> WorkerLaneMetrics:
         """The (created-on-first-use) lane gauges for one shard worker."""
@@ -145,6 +162,11 @@ class PipelineMetrics:
             "engine_ms_max": self.engine.max_seconds * 1e3,
             "sink_ms_mean": self.sink.mean_seconds * 1e3,
         }
+        if self.watermark_lag.observations or self.late_events:
+            row["late_events"] = float(self.late_events)
+            row["watermark_lag_mean"] = self.watermark_lag.mean_seconds
+            row["watermark_lag_max"] = self.watermark_lag.max_seconds
+            row["reorder_depth_hw"] = float(self.reorder_depth_high_water)
         if self.workers:
             lanes = list(self.workers.values())
             row["workers"] = float(len(lanes))

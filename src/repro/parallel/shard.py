@@ -107,7 +107,10 @@ class Shard:
         adaptation state between calls — the shape a long-lived worker
         process needs.  Events must arrive in non-decreasing timestamp
         order across calls (the same contract the engines place on a
-        stream).
+        stream); a pipeline ingesting out-of-order arrivals restores that
+        order upstream with the event-time reordering stage
+        (:mod:`repro.streaming.ordering`) before events are partitioned
+        into the shard queues.
         """
         matches: List[Match] = []
         for event in events:

@@ -29,7 +29,14 @@ class BucketedSlidingCounter:
         finer expiry granularity at slightly higher query cost.
     """
 
-    __slots__ = ("window", "num_buckets", "_bucket_width", "_buckets", "_last_time")
+    __slots__ = (
+        "window",
+        "num_buckets",
+        "_bucket_width",
+        "_buckets",
+        "_last_time",
+        "late_samples",
+    )
 
     def __init__(self, window: float, num_buckets: int = 32):
         if window <= 0:
@@ -42,17 +49,36 @@ class BucketedSlidingCounter:
         # Each bucket is [start_time, count]; newest last.
         self._buckets: Deque[Tuple[float, float]] = deque()
         self._last_time: Optional[float] = None
+        #: Out-of-order updates absorbed so far (clamped into the newest
+        #: bucket rather than rejected).
+        self.late_samples = 0
 
     def add(self, timestamp: float, amount: float = 1.0) -> None:
         """Record ``amount`` occurrences at ``timestamp``.
 
-        Timestamps must be non-decreasing; out-of-order updates raise
-        :class:`StatisticsError` to surface bugs in callers early.
+        Timestamps are expected to be non-decreasing; a *boundedly* late
+        (out-of-order) update — within one window of the newest time seen —
+        is tolerated rather than fatal: it is clamped forward into the
+        newest bucket and counted in :attr:`late_samples`.  The error this
+        introduces is bounded by the disorder the caller lets through (at
+        most one lateness-bound worth of misattribution), which is the
+        right trade for statistics collection: estimates degrade gracefully
+        instead of a disordered feed killing the run.  An update more than
+        a full window behind still raises :class:`StatisticsError` — at
+        that distance it could not contribute to any estimate, and the
+        usual cause is a caller bug (e.g. re-running a single-run engine),
+        which should stay loud.
         """
         if self._last_time is not None and timestamp < self._last_time - 1e-9:
-            raise StatisticsError(
-                f"out-of-order update: {timestamp} < last seen {self._last_time}"
-            )
+            if timestamp < self._last_time - self.window:
+                raise StatisticsError(
+                    f"out-of-order update beyond one window: {timestamp} < "
+                    f"last seen {self._last_time} - window {self.window:g} "
+                    "(disordered feeds should be bounded by the event-time "
+                    "ordering stage; engines are single-run)"
+                )
+            self.late_samples += 1
+            timestamp = self._last_time
         self._last_time = timestamp
         bucket_start = self._bucket_start(timestamp)
         if self._buckets and self._buckets[-1][0] == bucket_start:
@@ -61,6 +87,20 @@ class BucketedSlidingCounter:
         else:
             self._buckets.append((bucket_start, amount))
         self._expire(timestamp)
+
+    def __setstate__(self, state) -> None:
+        # Engine checkpoints written before `late_samples` existed pickle
+        # this class without that slot; default it so restored counters
+        # clamp late updates instead of dying on an unset attribute.
+        dict_state, slot_state = (
+            state if isinstance(state, tuple) else (state, None)
+        )
+        for source in (dict_state, slot_state):
+            if source:
+                for key, value in source.items():
+                    setattr(self, key, value)
+        if not hasattr(self, "late_samples"):
+            self.late_samples = 0
 
     def advance(self, timestamp: float) -> None:
         """Advance time without recording an occurrence (expires old buckets)."""
@@ -130,6 +170,11 @@ class SlidingWindowRateEstimator:
         """Number of events currently inside the window."""
         return self._counter.count(now)
 
+    @property
+    def late_samples(self) -> int:
+        """Out-of-order observations absorbed (clamped) so far."""
+        return self._counter.late_samples
+
 
 class SlidingSelectivityEstimator:
     """Estimate the success probability of a predicate over a sliding window.
@@ -193,3 +238,8 @@ class SlidingSelectivityEstimator:
     def attempts(self, now: Optional[float] = None) -> float:
         """Number of evaluations currently inside the window."""
         return self._attempts.count(now)
+
+    @property
+    def late_samples(self) -> int:
+        """Out-of-order observations absorbed (clamped) so far."""
+        return self._attempts.late_samples

@@ -25,9 +25,15 @@ The building blocks:
   checkpointable positions: JSONL writer, in-memory collector, counters;
 * **buffering** (:mod:`~repro.streaming.buffer`) — a bounded staging
   buffer with backpressure and load-shedding overflow policies;
+* **event-time ordering** (:mod:`~repro.streaming.ordering`) — watermark
+  generators (bounded out-of-orderness, punctuated), a heap-based reorder
+  buffer releasing out-of-order arrivals in timestamp order, and
+  drop/side-output/raise late-event policies (``max_lateness=…`` on the
+  pipeline, ``--max-lateness``/``--late-policy`` on the CLI);
 * **checkpointing** (:mod:`~repro.streaming.checkpoint`) — atomic
-  snapshots of engine state + source offset + sink positions, giving
-  kill/resume with no lost and no duplicated matches;
+  snapshots of engine state + source offset + sink positions — plus the
+  in-flight reorder buffer when ordering is active — giving kill/resume
+  with no lost and no duplicated matches;
 * **the pipeline** (:mod:`~repro.streaming.pipeline`) — the run loop
   wiring it all together, with per-stage latency/queue metrics and
   graceful shutdown;
@@ -48,6 +54,16 @@ from repro.streaming.buffer import (
     overflow_policy_by_name,
 )
 from repro.streaming.checkpoint import Checkpoint, CheckpointStore
+from repro.streaming.ordering import (
+    LATE_POLICIES,
+    BoundedOutOfOrdernessWatermarks,
+    PayloadWatermarkExtractor,
+    PunctuatedWatermarks,
+    ReorderBuffer,
+    WatermarkGenerator,
+    bounded_shuffle,
+    reorder_events,
+)
 from repro.streaming.pipeline import (
     DEFAULT_FILL_CHUNK,
     PipelineResult,
@@ -111,6 +127,15 @@ __all__ = [
     "DropNewest",
     "DropOldest",
     "overflow_policy_by_name",
+    # event-time ordering
+    "WatermarkGenerator",
+    "BoundedOutOfOrdernessWatermarks",
+    "PunctuatedWatermarks",
+    "PayloadWatermarkExtractor",
+    "ReorderBuffer",
+    "reorder_events",
+    "bounded_shuffle",
+    "LATE_POLICIES",
     # checkpointing
     "Checkpoint",
     "CheckpointStore",

@@ -8,6 +8,15 @@ pipeline restores all three and asks the source to skip the consumed
 prefix, so a kill between checkpoints costs only the re-processing of the
 post-checkpoint suffix — never lost or duplicated matches.
 
+Pipelines with an event-time ordering stage additionally capture the
+in-flight reorder state (``ordering_blob``: the watermark, the pending
+reorder heap and the released-but-unprocessed staged events) together with
+the raw source offset ``records_ingested`` — with out-of-order ingestion
+the processed events are no longer a prefix of the source, so the buffered
+difference must travel inside the checkpoint for kill/resume to stay
+exactly-once.  Both fields default to their pre-ordering values, so
+checkpoints written by older pipelines keep loading.
+
 Checkpoints are written atomically (temp file + ``os.replace``) into a
 directory, newest-last by a monotonically increasing index; the store
 keeps the most recent ``keep`` files so a torn write of the newest
@@ -40,12 +49,22 @@ class Checkpoint:
     pattern_name: str = ""
     created_at: float = 0.0
     index: int = 0
+    #: Source records pulled at the cut (>= events_processed once an
+    #: ordering stage holds events in flight; -1 = legacy checkpoint).
+    records_ingested: int = -1
+    #: Framed in-flight ordering state (see
+    #: :func:`repro.engine.state.snapshot_ordering_state`), or ``None``.
+    ordering_blob: Optional[bytes] = None
 
     def describe(self) -> str:
+        in_flight = ""
+        ordering_blob = getattr(self, "ordering_blob", None)
+        if ordering_blob is not None:
+            in_flight = f", {len(ordering_blob)} ordering-state bytes"
         return (
             f"checkpoint #{self.index}: {self.events_processed} events, "
             f"{self.matches_emitted} matches, "
-            f"{len(self.engine_blob)} state bytes"
+            f"{len(self.engine_blob)} state bytes{in_flight}"
         )
 
 

@@ -1,0 +1,327 @@
+"""Event-time ordering: watermarks, reordering and late-event policies.
+
+Every engine in this library consumes events in non-decreasing timestamp
+order — the contract the evaluation plans, the sliding-window statistics
+and the deduplication clocks are all built on.  Real deployments cannot
+promise sorted *arrival*: network fan-in, partitioned brokers and retried
+producers all deliver events out of order.  This module is the adapter
+between the two worlds, the standard event-time machinery of streaming
+systems (Millwheel/Flink-style):
+
+* a **watermark** is a promise about completeness — "no event with
+  timestamp below ``w`` will arrive anymore".  :class:`WatermarkGenerator`
+  subclasses derive that promise either structurally
+  (:class:`BoundedOutOfOrdernessWatermarks`: the stream is disordered by at
+  most ``max_lateness`` time units) or from in-band punctuation
+  (:class:`PunctuatedWatermarks`: designated events carry the watermark);
+* the :class:`ReorderBuffer` holds arriving events in a heap and releases
+  them **in timestamp order** once the watermark passes them, so everything
+  downstream keeps its sorted-input contract;
+* events arriving *behind* the watermark are **late** — the promise was
+  already spent — and are handled by a configurable policy: count-and-drop
+  (``"drop"``), divert to a side output (``"side-output"``), or fail fast
+  (``"raise"``).
+
+The buffer is deliberately deterministic: events are released ordered by
+``(timestamp, sequence_number)`` — exactly the order of
+:class:`~repro.events.InMemoryEventStream`'s sort — so a disordered stream
+pushed through a sufficiently tolerant buffer reproduces the sorted replay
+*byte for byte* (the differential property ``tests/test_equivalence.py``
+enforces).  It is also plain picklable state: the streaming pipeline
+snapshots in-flight buffer contents into its checkpoints so a kill/resume
+with buffered out-of-order events stays exactly-once.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamingError
+from repro.events import Event
+
+#: The late-event policy names accepted by :class:`ReorderBuffer` and the CLI.
+LATE_POLICIES = ("drop", "side-output", "raise")
+
+
+class WatermarkGenerator:
+    """Derives the event-time low watermark from the arriving events.
+
+    The watermark is monotone: :meth:`observe` may only ever advance it.
+    Subclasses implement :meth:`_watermark_for`, returning a candidate
+    watermark for one arriving event (or ``None`` when the event carries no
+    watermark information).
+    """
+
+    name: str = "watermarks"
+
+    def __init__(self) -> None:
+        self._watermark = float("-inf")
+
+    @property
+    def current_watermark(self) -> float:
+        """The low watermark promised so far (``-inf`` before any event)."""
+        return self._watermark
+
+    def observe(self, event: Event) -> Optional[float]:
+        """Account for one arriving event.
+
+        Returns the new watermark when the event advanced it, ``None``
+        otherwise — the caller uses the return value to decide whether a
+        release pass is worthwhile.
+        """
+        candidate = self._watermark_for(event)
+        if candidate is not None and candidate > self._watermark:
+            self._watermark = candidate
+            return candidate
+        return None
+
+    def _watermark_for(self, event: Event) -> Optional[float]:  # pragma: no cover
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} watermark={self._watermark:g}>"
+
+
+class BoundedOutOfOrdernessWatermarks(WatermarkGenerator):
+    """Watermarks for streams disordered by at most ``max_lateness``.
+
+    The structural assumption of most real feeds: an event may arrive up to
+    ``max_lateness`` stream-time units after events with greater timestamps.
+    The watermark therefore trails the maximum timestamp seen by exactly
+    that slack; an event behind it broke the assumption and is late.
+    ``max_lateness=0`` asserts the stream is already sorted (any inversion
+    is late).
+    """
+
+    name = "bounded-out-of-orderness"
+
+    def __init__(self, max_lateness: float):
+        if max_lateness < 0:
+            raise StreamingError(
+                f"max_lateness must be non-negative, got {max_lateness!r}"
+            )
+        super().__init__()
+        self.max_lateness = float(max_lateness)
+
+    def _watermark_for(self, event: Event) -> Optional[float]:
+        return event.timestamp - self.max_lateness
+
+    def __repr__(self) -> str:
+        return (
+            f"<BoundedOutOfOrdernessWatermarks max_lateness={self.max_lateness:g} "
+            f"watermark={self._watermark:g}>"
+        )
+
+
+class PayloadWatermarkExtractor:
+    """Read a punctuation watermark from an event's payload field.
+
+    A module-level class (not a closure) so punctuated configurations stay
+    picklable for checkpoints and worker processes.
+    """
+
+    def __init__(self, field: str = "watermark"):
+        self.field = field
+
+    def __call__(self, event: Event) -> Optional[float]:
+        value = event.get(self.field)
+        return None if value is None else float(value)
+
+    def __repr__(self) -> str:
+        return f"PayloadWatermarkExtractor({self.field!r})"
+
+
+class PunctuatedWatermarks(WatermarkGenerator):
+    """Watermarks carried in-band by designated events.
+
+    ``extract`` maps an event to the watermark it punctuates (or ``None``
+    for ordinary data events) — e.g. :class:`PayloadWatermarkExtractor`
+    reads a payload field written by the upstream producer.  Between
+    punctuations the watermark holds still, so the reorder buffer absorbs
+    arbitrary disorder until the producer declares progress.
+    """
+
+    name = "punctuated"
+
+    def __init__(self, extract: Callable[[Event], Optional[float]]):
+        if not callable(extract):
+            raise StreamingError("PunctuatedWatermarks requires a callable extractor")
+        super().__init__()
+        self._extract = extract
+
+    def _watermark_for(self, event: Event) -> Optional[float]:
+        return self._extract(event)
+
+
+class ReorderBuffer:
+    """Admit disordered events; release them in timestamp order.
+
+    Parameters
+    ----------
+    watermarks:
+        A :class:`WatermarkGenerator`, or a plain number as shorthand for
+        :class:`BoundedOutOfOrdernessWatermarks` with that ``max_lateness``.
+    late_policy:
+        What to do with an event arriving behind the watermark:
+        ``"drop"`` (count it in :attr:`late_events` and discard),
+        ``"side-output"`` (count it and hand it to ``late_sink``), or
+        ``"raise"`` (fail the ingestion with a :class:`StreamingError`).
+    late_sink:
+        A callable receiving each late event under the side-output policy
+        (e.g. a bound ``list.append`` or a JSONL writer's ``write``).
+
+    :meth:`push` returns the events the arrival released — already in
+    ``(timestamp, sequence_number)`` order — and :meth:`flush` drains the
+    remainder at end-of-stream.  The whole object is picklable, which is how
+    the pipeline checkpoints in-flight buffer contents.
+    """
+
+    def __init__(
+        self,
+        watermarks: "WatermarkGenerator | float",
+        late_policy: str = "drop",
+        late_sink: Optional[Callable[[Event], None]] = None,
+    ):
+        if isinstance(watermarks, (int, float)):
+            watermarks = BoundedOutOfOrdernessWatermarks(float(watermarks))
+        if not isinstance(watermarks, WatermarkGenerator):
+            raise StreamingError(
+                f"watermarks must be a WatermarkGenerator or a max_lateness "
+                f"number, got {type(watermarks).__name__}"
+            )
+        if late_policy not in LATE_POLICIES:
+            raise StreamingError(
+                f"unknown late policy {late_policy!r}; expected one of "
+                f"{sorted(LATE_POLICIES)}"
+            )
+        if late_policy == "side-output" and not callable(late_sink):
+            raise StreamingError(
+                "late_policy='side-output' requires a callable late_sink"
+            )
+        self.watermarks = watermarks
+        self.late_policy = late_policy
+        self._late_sink = late_sink
+        # Heap entries are (timestamp, sequence_number, tiebreak, event): the
+        # first two give the deterministic release order, the running
+        # tiebreak keeps comparisons from ever reaching the Event itself.
+        self._heap: List[Tuple[float, int, int, Event]] = []
+        self._tiebreak = 0
+        self.late_events = 0
+        self.max_depth = 0
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def watermark(self) -> float:
+        """The current event-time low watermark."""
+        return self.watermarks.current_watermark
+
+    @property
+    def depth(self) -> int:
+        """How many admitted events are still awaiting release."""
+        return len(self._heap)
+
+    def pending(self) -> List[Event]:
+        """The buffered events in release order (without consuming them)."""
+        return [entry[3] for entry in sorted(self._heap)]
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def push(self, event: Event) -> List[Event]:
+        """Admit one arrival; return the events it released, in order."""
+        if event.timestamp < self.watermarks.current_watermark:
+            self._handle_late(event)
+            return []
+        heapq.heappush(
+            self._heap,
+            (event.timestamp, event.sequence_number, self._tiebreak, event),
+        )
+        self._tiebreak += 1
+        if len(self._heap) > self.max_depth:
+            self.max_depth = len(self._heap)
+        watermark = self.watermarks.observe(event)
+        if watermark is None:
+            return []
+        return self._release(watermark)
+
+    def flush(self) -> List[Event]:
+        """End-of-stream: release everything still buffered, in order."""
+        return self._release(float("inf"))
+
+    def _release(self, watermark: float) -> List[Event]:
+        # Strictly below the watermark: an event with ts == watermark is
+        # *not* late (the late check is strict too), so an equal-timestamp
+        # straggler may still arrive — releasing the boundary timestamp now
+        # would emit it ahead of a lower-sequence peer and break the
+        # deterministic (timestamp, sequence_number) release order.
+        released: List[Event] = []
+        while self._heap and self._heap[0][0] < watermark:
+            released.append(heapq.heappop(self._heap)[3])
+        return released
+
+    def _handle_late(self, event: Event) -> None:
+        if self.late_policy == "raise":
+            raise StreamingError(
+                f"late event: {event!r} is behind the watermark "
+                f"{self.watermarks.current_watermark:g} (increase max_lateness "
+                "or choose a tolerant late policy)"
+            )
+        self.late_events += 1
+        if self.late_policy == "side-output":
+            self._late_sink(event)  # type: ignore[misc]
+
+    def __repr__(self) -> str:
+        return (
+            f"<ReorderBuffer depth={len(self._heap)} "
+            f"watermark={self.watermark:g} late={self.late_events} "
+            f"policy={self.late_policy}>"
+        )
+
+
+def reorder_events(
+    events: Iterable[Event],
+    max_lateness: float,
+    late_policy: str = "drop",
+    late_sink: Optional[Callable[[Event], None]] = None,
+) -> List[Event]:
+    """One-shot offline reordering of a disordered event collection.
+
+    Convenience for the batch ingestion paths (and tests): push every event
+    through a fresh :class:`ReorderBuffer` and flush — the list comes back
+    sorted by ``(timestamp, sequence_number)`` minus whatever the late
+    policy removed.
+    """
+    buffer = ReorderBuffer(max_lateness, late_policy=late_policy, late_sink=late_sink)
+    ordered: List[Event] = []
+    for event in events:
+        ordered.extend(buffer.push(event))
+    ordered.extend(buffer.flush())
+    return ordered
+
+
+def bounded_shuffle(
+    events: Sequence[Event], slack: float, seed: int = 0
+) -> List[Event]:
+    """Seeded bounded disorder: displace each event by less than ``slack``.
+
+    Each event is sorted by ``timestamp + U(0, slack)`` (ties broken by the
+    original position, so the shuffle is stable and deterministic per seed).
+    Any event then arrives after at most ``slack`` stream-time units of
+    later events, which makes the result exactly recoverable by a
+    :class:`ReorderBuffer` with ``max_lateness >= slack`` — the workload
+    generator of the disorder differential tests and the
+    ``--shuffle-slack`` smoke runs.
+    """
+    if slack < 0:
+        raise StreamingError(f"shuffle slack must be non-negative, got {slack!r}")
+    rng = random.Random(seed)
+    keyed = [
+        (event.timestamp + rng.uniform(0.0, slack), index, event)
+        for index, event in enumerate(events)
+    ]
+    keyed.sort(key=lambda entry: (entry[0], entry[1]))
+    return [event for _, _, event in keyed]

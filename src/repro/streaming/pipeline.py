@@ -5,6 +5,12 @@ long-running, incrementally-fed service:
 
 * events are staged through a :class:`~repro.streaming.buffer.BoundedBuffer`
   whose overflow policy decides between backpressure and load shedding;
+* with an event-time ordering stage (``max_lateness`` or an explicit
+  :class:`~repro.streaming.ordering.ReorderBuffer`), out-of-order arrivals
+  are buffered and released in timestamp order before they reach the
+  engine, late events are dropped/side-routed/raised per the configured
+  policy, and the event-time low watermark is propagated to worker
+  backends so their deduplication eviction clock follows event time;
 * the engine is fed event-at-a-time (the paper's detection–adaptation loop
   is untouched — the pipeline only changes *how events arrive*, never how
   they are evaluated), so a pipeline over a recorded stream produces
@@ -38,11 +44,13 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.engine import Match
+from repro.engine.state import restore_ordering_state, snapshot_ordering_state
 from repro.errors import CheckpointError, StreamingError
 from repro.events import Event, EventStream
 from repro.metrics import PipelineMetrics
 from repro.streaming.buffer import BoundedBuffer, OverflowPolicy
 from repro.streaming.checkpoint import Checkpoint, CheckpointStore
+from repro.streaming.ordering import ReorderBuffer
 from repro.streaming.sinks import MatchSink
 from repro.streaming.sources import EventSource, IterableSource
 from repro.streaming.workers import ExecutionBackend, InlineBackend
@@ -109,6 +117,14 @@ class StreamingPipeline:
         between backpressure and load shedding when it is full (only
         reachable through push-style :meth:`submit` — the pull loop stops
         pulling instead).
+    ordering / max_lateness / late_policy / late_sink:
+        Event-time out-of-order tolerance.  ``max_lateness`` builds a
+        bounded-out-of-orderness :class:`~repro.streaming.ordering.ReorderBuffer`
+        in front of the engine (``late_policy`` one of ``drop`` /
+        ``side-output`` / ``raise``; ``late_sink`` receives side-routed
+        events); pass ``ordering`` directly for punctuated or custom
+        watermarking.  Without either, the source must already be
+        timestamp-ordered (the original contract).
     """
 
     def __init__(
@@ -122,6 +138,10 @@ class StreamingPipeline:
         overflow_policy: Optional[OverflowPolicy] = None,
         fill_chunk: int = DEFAULT_FILL_CHUNK,
         clock: Callable[[], float] = time.perf_counter,
+        ordering: Optional[ReorderBuffer] = None,
+        max_lateness: Optional[float] = None,
+        late_policy: str = "drop",
+        late_sink: Optional[Callable[[Event], None]] = None,
     ):
         self._backend = (
             engine if isinstance(engine, ExecutionBackend) else InlineBackend(engine)
@@ -145,11 +165,24 @@ class StreamingPipeline:
         self._buffer = BoundedBuffer(buffer_capacity, overflow_policy)
         self._fill_chunk = int(fill_chunk)
         self._clock = clock
+        if ordering is not None and max_lateness is not None:
+            raise StreamingError(
+                "pass either an ordering buffer or max_lateness, not both"
+            )
+        if ordering is None and max_lateness is not None:
+            ordering = ReorderBuffer(
+                max_lateness, late_policy=late_policy, late_sink=late_sink
+            )
+        self._ordering = ordering
+        # Event-time high-water mark (max timestamp pulled); the reference
+        # the watermark-lag gauge measures disorder against.
+        self._max_event_time = float("-inf")
 
         self.metrics = PipelineMetrics()
         self._backend.bind_metrics(self.metrics)
         self._events_processed_total = 0
         self._matches_emitted_total = 0
+        self._records_ingested_total = 0
         self._events_at_last_checkpoint = 0
         self._stop_requested = False
         self._running = False
@@ -185,9 +218,19 @@ class StreamingPipeline:
         return self._buffer
 
     @property
+    def ordering(self) -> Optional[ReorderBuffer]:
+        """The event-time ordering stage, or ``None`` for sorted sources."""
+        return self._ordering
+
+    @property
     def events_processed(self) -> int:
         """Total events processed, including any resumed prefix."""
         return self._events_processed_total
+
+    @property
+    def records_ingested(self) -> int:
+        """Source records pulled, including events still held in flight."""
+        return self._records_ingested_total
 
     @property
     def matches_emitted(self) -> int:
@@ -238,7 +281,36 @@ class StreamingPipeline:
                 )
             for sink, state in zip(self._sinks, checkpoint.sink_states):
                 sink.restore(state)
-        self._source.skip(checkpoint.events_processed)
+        # With an ordering stage, the processed events are not a prefix of
+        # the source: the checkpoint carries the in-flight difference (the
+        # reorder heap and the staged-but-unprocessed events) and the raw
+        # source offset.  getattr() keeps checkpoints from older builds
+        # (which predate both fields) loading.
+        ordering_blob = getattr(checkpoint, "ordering_blob", None)
+        if ordering_blob is not None:
+            if self._ordering is None:
+                raise CheckpointError(
+                    "checkpoint holds an in-flight reorder buffer; resume "
+                    "with an ordering stage (max_lateness / ordering) or "
+                    "clear the store"
+                )
+            state = restore_ordering_state(ordering_blob)
+            self._ordering = state["ordering"]
+            for event in state.get("staged", ()):
+                self._buffer.force_append(event)
+            self._max_event_time = float(state.get("high_water", float("-inf")))
+            self.metrics.late_events = self._ordering.late_events
+            records = int(getattr(checkpoint, "records_ingested", -1))
+            if records < checkpoint.events_processed:
+                raise CheckpointError(
+                    "checkpoint with ordering state lacks a valid source "
+                    "offset (records_ingested)"
+                )
+            self._records_ingested_total = records
+            self._source.skip(records)
+        else:
+            self._records_ingested_total = checkpoint.events_processed
+            self._source.skip(checkpoint.events_processed)
 
     def _write_checkpoint(self) -> None:
         if self._store is None:
@@ -250,17 +322,72 @@ class StreamingPipeline:
         self._emit(self._backend.flush())
         for sink in self._sinks:
             sink.flush()
+        ordering_blob = None
+        if self._ordering is not None:
+            ordering_blob = snapshot_ordering_state(
+                {
+                    "ordering": self._ordering,
+                    "staged": self._buffer.snapshot_events(),
+                    "high_water": self._max_event_time,
+                }
+            )
         checkpoint = Checkpoint(
             events_processed=self._events_processed_total,
             matches_emitted=self._matches_emitted_total,
             engine_blob=self._backend.snapshot(),
             sink_states=[sink.state() for sink in self._sinks],
             pattern_name=getattr(self._backend.pattern, "name", ""),
+            records_ingested=self._records_ingested_total,
+            ordering_blob=ordering_blob,
         )
         self._store.save(checkpoint)
         self._events_at_last_checkpoint = self._events_processed_total
         self.metrics.checkpoint.observe(self._clock() - started)
         self.metrics.checkpoints_written += 1
+
+    # ------------------------------------------------------------------
+    # Ingestion (shared by the pull loop and push-style submit)
+    # ------------------------------------------------------------------
+    def _stage_released(self, events: Sequence[Event]) -> None:
+        """Move ordering-stage releases into the staging buffer.
+
+        A released event already left the source *and* the reorder buffer,
+        so under the backpressure policy a full staging buffer cannot refuse
+        it — the buffer transiently exceeds its capacity instead (bounded by
+        the reorder occupancy; the pull loop's fill budget still keeps the
+        source from running further ahead).  Drop policies shed per policy,
+        as for sorted ingestion.
+        """
+        for event in events:
+            if not self._buffer.offer(event):
+                self._buffer.force_append(event)
+
+    def _ingest(self, event: Event) -> None:
+        """Route one arrival through the (optional) ordering stage."""
+        self._records_ingested_total += 1
+        self.metrics.events_ingested += 1
+        if self._ordering is None:
+            self._buffer.offer(event)
+            return
+        # Lag behind the event-time high-water mark = this arrival's actual
+        # disorder (0 when in order) — measured before the event itself can
+        # raise the mark.
+        lag = (
+            max(0.0, self._max_event_time - event.timestamp)
+            if self._max_event_time != float("-inf")
+            else 0.0
+        )
+        if event.timestamp > self._max_event_time:
+            self._max_event_time = event.timestamp
+        watermark_before = self._ordering.watermark
+        released = self._ordering.push(event)
+        watermark = self._ordering.watermark
+        self.metrics.observe_watermark_lag(lag, self._ordering.depth)
+        self.metrics.late_events = self._ordering.late_events
+        if released:
+            self._stage_released(released)
+        if watermark > watermark_before:
+            self._backend.advance_watermark(watermark)
 
     # ------------------------------------------------------------------
     # Push-style ingestion
@@ -271,13 +398,36 @@ class StreamingPipeline:
         Returns ``False`` when the buffer is full under the backpressure
         policy — the producer must retry after :meth:`drain`.  Drop
         policies always return ``True`` and account shed events in
-        :attr:`metrics`.
+        :attr:`metrics`.  With an ordering stage the event is always
+        consumed (the reorder buffer absorbs it; shedding applies when the
+        watermark releases it).
         """
+        if self._ordering is not None:
+            self._ingest(event)
+            self.metrics.observe_queue_depth(self._buffer.depth)
+            return True
         consumed = self._buffer.offer(event)
         if consumed:
+            self._records_ingested_total += 1
             self.metrics.events_ingested += 1
             self.metrics.observe_queue_depth(self._buffer.depth)
         return consumed
+
+    def flush_ordering(self) -> int:
+        """Declare end-of-stream to the ordering stage (push-style callers).
+
+        Releases every event still held by the reorder buffer into the
+        staging buffer — in timestamp order — and returns how many were
+        released; a following :meth:`drain` processes them.  The pull-driven
+        :meth:`run` loop does this automatically when the source runs dry.
+        No-op without an ordering stage.
+        """
+        if self._ordering is None or not self._ordering.depth:
+            return 0
+        released = self._ordering.flush()
+        self._stage_released(released)
+        self.metrics.observe_queue_depth(self._buffer.depth)
+        return len(released)
 
     def drain(self, max_events: Optional[int] = None) -> List[Match]:
         """Process buffered events now; returns the matches they produced.
@@ -368,6 +518,10 @@ class StreamingPipeline:
             for sink in self._sinks:
                 sink.open()
             self._backend.start()
+            if self._ordering is not None:
+                # A restored reorder buffer re-seeds the backend's
+                # event-time clock before any new arrival advances it.
+                self._backend.advance_watermark(self._ordering.watermark)
 
             started = self._clock()
             events_before = self.metrics.events_processed
@@ -408,13 +562,16 @@ class StreamingPipeline:
                         except StopIteration:
                             exhausted = True
                             break
-                        self._buffer.offer(event)
-                        self.metrics.events_ingested += 1
+                        self._ingest(event)
                     self.metrics.source.observe(self._clock() - fill_started)
                     self.metrics.observe_queue_depth(self._buffer.depth)
 
                 if len(self._buffer) == 0:
                     if exhausted:
+                        # End-of-stream: no more watermarks will arrive, so
+                        # release whatever the ordering stage still holds.
+                        if self.flush_ordering():
+                            continue
                         break
                     continue
 

@@ -84,7 +84,10 @@ class EventSource(GeneratorEventStream):
     name: str = "source"
 
     def __init__(self, rate: Optional[float] = None):
-        self._limiter = RateLimiter(rate) if rate else None
+        # `rate is None` means unthrottled; anything else must be a valid
+        # positive rate.  (A bare truthiness test would let rate=0 silently
+        # disable pacing while RateLimiter itself rejects rate<=0.)
+        self._limiter = RateLimiter(rate) if rate is not None else None
         self._skip = 0
         self.events_emitted = 0
         super().__init__(self._iterate(), name=type(self).__name__)

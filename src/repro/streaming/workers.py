@@ -43,7 +43,12 @@ deadlock is impossible by construction.
 Duplicate eviction uses a *low watermark*: the slowest shard's stream
 clock.  A shard that has drained everything fed to it advances to the
 global feed clock, so an idle or starved shard never pins the watermark
-and the deduplicator's memory stays window-bounded.
+and the deduplicator's memory stays window-bounded.  When the pipeline
+runs an event-time ordering stage it additionally propagates the true
+event-time low watermark via :meth:`ExecutionBackend.advance_watermark`;
+the eviction clock is then clamped to it, so under out-of-order ingestion
+duplicate signatures are evicted on *event time* rather than on the
+arrival-order feed clock (which disorder would otherwise let run ahead).
 """
 
 from __future__ import annotations
@@ -103,6 +108,16 @@ class ExecutionBackend:
     def submit(self, event: Event) -> None:
         """Route one event towards its shard(s); may block (backpressure)."""
         raise NotImplementedError
+
+    def advance_watermark(self, watermark: float) -> None:
+        """Adopt the pipeline's event-time low watermark (monotone).
+
+        Called by a pipeline with an ordering stage whenever its watermark
+        advances.  Backends that keep cross-shard state keyed by stream
+        time (the match deduplicator) clamp their eviction clocks to it;
+        the default is a no-op (an inline engine sees events in order and
+        needs no separate clock).
+        """
 
     def collect(self) -> List[Match]:
         """Matches that are ready now, without waiting (non-blocking)."""
@@ -300,6 +315,10 @@ class _WorkerBackendBase(ExecutionBackend):
         self._done_counts = [0] * self._num_shards
         self._shard_clock = [float("-inf")] * self._num_shards
         self._fed_clock = float("-inf")
+        # Event-time low watermark pushed down by an ordering pipeline
+        # (monotone; -inf until one arrives).  Not reset by start(): event
+        # time survives worker restarts within one backend lifetime.
+        self._event_time_watermark = float("-inf")
 
         self._pending: List[List[Event]] = [[] for _ in range(self._num_shards)]
         self._next_token = 0
@@ -428,14 +447,29 @@ class _WorkerBackendBase(ExecutionBackend):
     # The merger thread
     # ------------------------------------------------------------------
     def _watermark_locked(self) -> float:
-        """The slowest shard's stream clock (idle shards ride the feed clock)."""
+        """The dedup eviction clock: the slowest shard's stream clock.
+
+        Idle shards ride the feed clock.  When the pipeline propagates an
+        event-time low watermark (ordering stage active), the clock is
+        clamped to it — with out-of-order ingestion the feed clock is an
+        arrival-order maximum that may overtake events still admissible
+        within the lateness bound, so eviction must follow event time.
+        """
         clocks = []
         for shard_id in range(self._num_shards):
             if self._done_counts[shard_id] >= self._fed_counts[shard_id]:
                 clocks.append(self._fed_clock)
             else:
                 clocks.append(self._shard_clock[shard_id])
-        return min(clocks) if clocks else float("-inf")
+        watermark = min(clocks) if clocks else float("-inf")
+        if self._event_time_watermark != float("-inf"):
+            watermark = min(watermark, self._event_time_watermark)
+        return watermark
+
+    def advance_watermark(self, watermark: float) -> None:
+        with self._lock:
+            if watermark > self._event_time_watermark:
+                self._event_time_watermark = watermark
 
     def _merger_loop(self) -> None:
         """Drain shard outputs: dedup matches, track barriers and lanes.
@@ -642,6 +676,7 @@ class _WorkerBackendBase(ExecutionBackend):
                 "num_shards": self._num_shards,
                 "partitioner": self._partitioner,
                 "dedup": self._dedup,
+                "event_time_watermark": self._event_time_watermark,
                 "queue_high_water": {
                     shard_id: lane.queue_high_water
                     for shard_id, lane in self._metrics.workers.items()
@@ -672,6 +707,9 @@ class _WorkerBackendBase(ExecutionBackend):
             dedup = meta.get("dedup")
             if dedup is not None:
                 self._dedup = dedup
+            watermark = meta.get("event_time_watermark")
+            if watermark is not None:
+                self._event_time_watermark = float(watermark)
             return
         # An inline-backend checkpoint of a ParallelCEPEngine can be adopted
         # shard by shard, so a service can be upgraded from --backend inline

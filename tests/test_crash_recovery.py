@@ -21,6 +21,7 @@ import pytest
 from repro.adaptive import InvariantBasedPolicy
 from repro.conditions import AndCondition, EqualityCondition
 from repro.engine import AdaptiveCEPEngine
+from repro.engine.state import restore_ordering_state
 from repro.events import EventType
 from repro.optimizer import GreedyOrderPlanner
 from repro.parallel import BroadcastPartitioner, KeyPartitioner, ParallelCEPEngine
@@ -32,6 +33,7 @@ from repro.streaming import (
     ReplaySource,
     StreamingPipeline,
     ThreadWorkerBackend,
+    bounded_shuffle,
 )
 from repro.streaming.sinks import match_record
 from tests.conftest import make_camera_stream
@@ -192,6 +194,89 @@ def test_double_kill_resume(workload, tmp_path):
 
     build().run(max_events=130, final_checkpoint=False)
     build().run(max_events=150, final_checkpoint=False)  # resumes at 120, dies again
+    final = build().run()
+    assert final.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected
+
+
+def test_kill_with_nonempty_reorder_buffer(workload, tmp_path):
+    """Disorder + kill: in-flight reorder-buffer events survive the resume.
+
+    The stream is shuffled within a bounded slack and served through a
+    worker backend with the event-time ordering stage in front.  The kill
+    lands while the reorder buffer holds admitted-but-unreleased events
+    (asserted against the recovered checkpoint), so the resume exercises
+    the ordering-state restore path — and the served file must still be
+    byte-identical to the uninterrupted *sorted* reference.
+    """
+    pattern, events, expected = workload
+    slack = 1.5
+    shuffled = bounded_shuffle(events, slack, seed=47)
+    assert shuffled != events
+    sink_path = str(tmp_path / "matches-reorder.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-reorder"))
+
+    def build():
+        engine = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=2,
+            partitioner=BroadcastPartitioner(),
+        )
+        return StreamingPipeline(
+            ThreadWorkerBackend(engine, feed_batch=8),
+            ReplaySource(shuffled),
+            sinks=[JSONLMatchWriter(sink_path)],
+            checkpoint_store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+            max_lateness=slack,
+        )
+
+    first = build().run(max_events=173, final_checkpoint=False)
+    assert first.stop_reason == "max-events"
+    checkpoint = store.latest()
+    state = restore_ordering_state(checkpoint.ordering_blob)
+    assert state["ordering"].depth > 0, (
+        "the kill point must leave events in the reorder buffer for this "
+        "test to exercise the in-flight restore path"
+    )
+    assert checkpoint.records_ingested > checkpoint.events_processed
+
+    second = build().run()
+    assert second.stop_reason == "source-exhausted"
+    assert second.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected, (
+        f"served {len(served)} matches, expected {len(expected)} "
+        "(lost or duplicated across a resume with a non-empty reorder buffer)"
+    )
+
+
+def test_double_kill_with_reorder_buffer(workload, tmp_path):
+    """Two kills with an ordering stage stay lossless end to end."""
+    pattern, events, expected = workload
+    slack = 1.5
+    shuffled = bounded_shuffle(events, slack, seed=53)
+    sink_path = str(tmp_path / "matches-reorder-double.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-reorder-double"))
+
+    def build():
+        engine = AdaptiveCEPEngine(
+            pattern, GreedyOrderPlanner(), InvariantBasedPolicy()
+        )
+        return StreamingPipeline(
+            engine,
+            ReplaySource(shuffled),
+            sinks=[JSONLMatchWriter(sink_path)],
+            checkpoint_store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+            max_lateness=slack,
+        )
+
+    build().run(max_events=130, final_checkpoint=False)
+    build().run(max_events=150, final_checkpoint=False)
     final = build().run()
     assert final.total_events_processed == len(events)
     served = sorted(line for line in open(sink_path).read().splitlines() if line)

@@ -17,6 +17,15 @@ and the *byte-identical* sorted JSON records of the match sets are
 compared.  Sorting removes the one legitimate difference (emission order
 across shards); everything else — bindings, timestamps, sequence numbers,
 detection times — must agree exactly.
+
+The disorder differential extends the same invariant to out-of-order
+arrival: each workload is shuffled within a bounded slack
+(:func:`~repro.streaming.bounded_shuffle`) and re-run through every mode
+with the event-time reordering layer absorbing the disorder — the
+streaming modes via the pipeline's ``max_lateness`` ordering stage, the
+batch modes via offline :func:`~repro.streaming.reorder_events`.  The
+sorted match records must still equal the sorted-replay reference byte
+for byte.
 """
 
 from __future__ import annotations
@@ -45,12 +54,19 @@ from repro.streaming import (
     ReplaySource,
     StreamingPipeline,
     ThreadWorkerBackend,
+    bounded_shuffle,
+    reorder_events,
 )
 from repro.streaming.sinks import match_record
 from repro.workloads import WorkloadGenerator
 from tests.conftest import make_camera_stream
 
 SHARDS = 2
+
+#: Stream-time slack of the disorder differential (must stay below the
+#: workloads' pattern windows so reordered detection is meaningful).
+DISORDER_SLACK = 1.5
+DISORDER_SEED = 97
 
 
 def _records(matches):
@@ -94,31 +110,39 @@ def run_batch_multiprocess(pattern, events, partitioner):
     return _parallel(pattern, partitioner, executor).run(events).matches
 
 
-def run_pipeline_inline(pattern, events, partitioner):
+def run_pipeline_inline(pattern, events, partitioner, **pipeline_kwargs):
     sink = CollectorSink()
     engine = AdaptiveCEPEngine(pattern, _planner(), _policy())
-    StreamingPipeline(engine, ReplaySource(events), sinks=[sink]).run()
+    StreamingPipeline(
+        engine, ReplaySource(events), sinks=[sink], **pipeline_kwargs
+    ).run()
     return sink.matches
 
 
-def run_pipeline_inline_sharded(pattern, events, partitioner):
+def run_pipeline_inline_sharded(pattern, events, partitioner, **pipeline_kwargs):
     sink = CollectorSink()
     engine = _parallel(pattern, partitioner)
-    StreamingPipeline(engine, ReplaySource(events), sinks=[sink]).run()
+    StreamingPipeline(
+        engine, ReplaySource(events), sinks=[sink], **pipeline_kwargs
+    ).run()
     return sink.matches
 
 
-def run_pipeline_thread_workers(pattern, events, partitioner):
+def run_pipeline_thread_workers(pattern, events, partitioner, **pipeline_kwargs):
     sink = CollectorSink()
     backend = ThreadWorkerBackend(_parallel(pattern, partitioner), feed_batch=16)
-    StreamingPipeline(backend, ReplaySource(events), sinks=[sink]).run()
+    StreamingPipeline(
+        backend, ReplaySource(events), sinks=[sink], **pipeline_kwargs
+    ).run()
     return sink.matches
 
 
-def run_pipeline_process_workers(pattern, events, partitioner):
+def run_pipeline_process_workers(pattern, events, partitioner, **pipeline_kwargs):
     sink = CollectorSink()
     backend = ProcessWorkerBackend(_parallel(pattern, partitioner), feed_batch=16)
-    StreamingPipeline(backend, ReplaySource(events), sinks=[sink]).run()
+    StreamingPipeline(
+        backend, ReplaySource(events), sinks=[sink], **pipeline_kwargs
+    ).run()
     return sink.matches
 
 
@@ -130,6 +154,12 @@ MODES = {
     "pipeline-thread-workers": run_pipeline_thread_workers,
     "pipeline-process-workers": run_pipeline_process_workers,
 }
+
+#: Modes whose disorder handling is the pipeline's event-time ordering
+#: stage; the rest (sequential / batch) reorder offline before ingesting.
+STREAMING_MODES = frozenset(
+    name for name in MODES if name.startswith("pipeline-")
+)
 
 
 # ----------------------------------------------------------------------
@@ -193,3 +223,38 @@ def test_reference_is_nonempty_and_deterministic(references):
     for name, (pattern, events, partitioner, reference) in references.items():
         again = _records(run_sequential(pattern, events, partitioner))
         assert again == reference, f"sequential reference for {name} is unstable"
+
+
+# ----------------------------------------------------------------------
+# Disorder differential: shuffled-within-slack arrival must change nothing
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("mode_name", sorted(MODES))
+def test_disordered_arrival_equals_sorted_reference(
+    references, workload_name, mode_name
+):
+    pattern, events, partitioner, reference = references[workload_name]
+    shuffled = bounded_shuffle(events, DISORDER_SLACK, seed=DISORDER_SEED)
+    assert shuffled != events, "the disorder workload must actually be disordered"
+    if mode_name in STREAMING_MODES:
+        matches = MODES[mode_name](
+            pattern, shuffled, partitioner, max_lateness=DISORDER_SLACK
+        )
+    else:
+        matches = MODES[mode_name](
+            pattern, reorder_events(shuffled, DISORDER_SLACK), partitioner
+        )
+    assert _records(matches) == reference, (
+        f"{mode_name} diverged from the sorted-replay reference on the "
+        f"disordered {workload_name} workload"
+    )
+
+
+def test_disordered_sequential_equals_sorted_reference(references):
+    """The reference engine itself, fed an offline-reordered shuffle."""
+    for name, (pattern, events, partitioner, reference) in references.items():
+        shuffled = bounded_shuffle(events, DISORDER_SLACK, seed=DISORDER_SEED)
+        restored = reorder_events(shuffled, DISORDER_SLACK)
+        assert restored == list(events)
+        matches = run_sequential(pattern, restored, partitioner)
+        assert _records(matches) == reference, name

@@ -12,6 +12,11 @@ streaming path leans on hardest:
   reported within ``window`` of its first admission must always be
   suppressed, and a first-seen match must never be dropped, whatever the
   eviction clock does in between.
+* :class:`~repro.streaming.ReorderBuffer` — for arbitrary bounded-disorder
+  inputs the released flow must be a *sorted permutation of the admitted
+  events* (non-decreasing timestamps, nothing lost, nothing invented), and
+  a lateness bound covering the actual disorder must admit everything in
+  exact ``(timestamp, sequence_number)`` order.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from repro.errors import PartitionError  # noqa: E402
 from repro.events import Event, EventType  # noqa: E402
 from repro.parallel import KeyPartitioner, StreamingMatchDeduplicator  # noqa: E402
 from repro.patterns import seq  # noqa: E402
+from repro.streaming import ReorderBuffer, bounded_shuffle  # noqa: E402
 
 SETTINGS = settings(max_examples=60, deadline=None)
 
@@ -222,3 +228,91 @@ class TestDeduplicatorProperties:
         matches = [_match(identifier, 1.0) for identifier in range(4)]
         assert dedup.filter(matches, now=1.0) == matches
         assert dedup.duplicates_dropped == 0
+
+
+# ----------------------------------------------------------------------
+# ReorderBuffer sortedness
+# ----------------------------------------------------------------------
+#: Arrival flows: per event a timestamp (possibly colliding) drawn freely —
+#: arbitrary disorder, not just bounded shuffles.
+arrival_timestamps = st.lists(
+    st.floats(0.0, 50.0, allow_nan=False), min_size=1, max_size=80
+)
+
+
+def _arrivals(timestamps):
+    return [
+        Event(EventType("R"), ts, {}, sequence_number=index)
+        for index, ts in enumerate(timestamps)
+    ]
+
+
+class TestReorderBufferProperties:
+    @SETTINGS
+    @given(timestamps=arrival_timestamps, lateness=st.floats(0.0, 10.0, allow_nan=False))
+    def test_released_flow_is_sorted_permutation_of_admitted(
+        self, timestamps, lateness
+    ):
+        """Whatever arrives, the output is sorted and accounts for everything.
+
+        Released (including the end-of-stream flush) + late must partition
+        the input exactly; the released flow must be non-decreasing in
+        timestamp, with ties broken by sequence number.
+        """
+        events = _arrivals(timestamps)
+        buffer = ReorderBuffer(lateness)
+        released = []
+        for event in events:
+            released.extend(buffer.push(event))
+        released.extend(buffer.flush())
+        assert len(released) + buffer.late_events == len(events)
+        assert buffer.depth == 0
+        keys = [(event.timestamp, event.sequence_number) for event in released]
+        assert keys == sorted(keys), "released flow is not sorted"
+        # Nothing invented, nothing duplicated: the released events are a
+        # sub-multiset of the input (identity, not just equal keys).
+        released_ids = {id(event) for event in released}
+        assert len(released_ids) == len(released)
+        event_ids = {id(event) for event in events}
+        assert released_ids <= event_ids
+
+    @SETTINGS
+    @given(
+        timestamps=arrival_timestamps,
+        slack=st.floats(0.0, 5.0, allow_nan=False),
+        seed=st.integers(0, 2**16),
+    )
+    def test_bounded_disorder_is_recovered_exactly(self, timestamps, slack, seed):
+        """A lateness bound covering the disorder loses nothing.
+
+        ``bounded_shuffle(sorted_events, slack)`` displaces every event by
+        less than ``slack`` stream-time units, so a buffer with
+        ``max_lateness=slack`` must admit everything and reproduce the
+        sorted input exactly.
+        """
+        events = _arrivals(sorted(timestamps))
+        shuffled = bounded_shuffle(events, slack, seed=seed)
+        buffer = ReorderBuffer(slack)
+        released = []
+        for event in shuffled:
+            released.extend(buffer.push(event))
+        released.extend(buffer.flush())
+        assert buffer.late_events == 0
+        assert released == events
+
+    @SETTINGS
+    @given(timestamps=arrival_timestamps)
+    def test_late_events_are_behind_the_watermark(self, timestamps):
+        """An event is only ever declared late when the promise was spent."""
+        side_channel = []
+        buffer = ReorderBuffer(
+            1.0, late_policy="side-output", late_sink=side_channel.append
+        )
+        max_seen = float("-inf")
+        for event in _arrivals(timestamps):
+            before = len(side_channel)
+            buffer.push(event)
+            if len(side_channel) > before:
+                assert event.timestamp < max_seen - 1.0
+            max_seen = max(max_seen, event.timestamp)
+        assert buffer.late_events == len(side_channel)

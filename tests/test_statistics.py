@@ -118,11 +118,48 @@ class TestBucketedSlidingCounter:
             counter.add(float(t))
         assert counter.rate(now=10.0) == pytest.approx(2.0, rel=0.3)
 
-    def test_out_of_order_rejected(self):
+    def test_out_of_order_clamped_and_counted(self):
+        """Boundedly late updates are absorbed into the newest bucket."""
         counter = BucketedSlidingCounter(window=10.0)
         counter.add(5.0)
+        counter.add(1.0)  # late by 4 < window: clamped to 5.0
+        assert counter.late_samples == 1
+        assert counter.count(now=5.0) == 2
+        # The clamp must not rewind the clock: window expiry still works.
+        counter.add(5.5)
+        assert counter.late_samples == 1
+        assert counter.count(now=5.5) == 3
+
+    def test_grossly_out_of_order_still_rejected(self):
+        """Beyond one window, disorder stays a loud caller bug."""
+        counter = BucketedSlidingCounter(window=10.0)
+        counter.add(50.0)
         with pytest.raises(StatisticsError):
-            counter.add(1.0)
+            counter.add(10.0)
+        assert counter.late_samples == 0
+
+    def test_unpickle_state_without_late_samples_slot(self):
+        """Counters from pre-late_samples engine checkpoints keep working."""
+        from collections import deque
+
+        old = BucketedSlidingCounter.__new__(BucketedSlidingCounter)
+        # The slots state an older build would have pickled (no late_samples).
+        old.__setstate__(
+            (
+                None,
+                {
+                    "window": 10.0,
+                    "num_buckets": 32,
+                    "_bucket_width": 10.0 / 32,
+                    "_buckets": deque([(4.6875, 1.0)]),
+                    "_last_time": 5.0,
+                },
+            )
+        )
+        assert old.late_samples == 0
+        old.add(4.0)  # boundedly late: clamps instead of AttributeError
+        assert old.late_samples == 1
+        assert old.count(now=5.0) == 2
 
     def test_empty_counter(self):
         counter = BucketedSlidingCounter(window=10.0)
