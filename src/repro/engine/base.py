@@ -97,6 +97,37 @@ class EvaluationEngine:
         """Drop buffered state that can no longer contribute to a match."""
         raise NotImplementedError
 
+    def _delta_keyed_state(self):
+        """Change-tracked collections for incremental snapshots.
+
+        The emitted-key set is by far the largest (and append-only) piece
+        of evaluation-engine state, so it is the piece shipped as diffs by
+        :mod:`repro.streaming.delta`; the partial-match buffers churn per
+        event and travel in the (small) skeleton instead.
+        """
+        return [("emitted", self, "_emitted_keys")]
+
+    def _delta_frozen_state(self):
+        """Immutable configuration roots for incremental snapshots.
+
+        The pattern and the evaluation plan never mutate after
+        construction (reoptimization *replaces* the plan object), so delta
+        skeletons reference them as tokens instead of re-pickling them at
+        every epoch.
+        """
+        roots = [self.pattern]
+        plan = getattr(self, "plan", None)
+        if plan is not None:
+            roots.append(plan)
+        return roots
+
+    def snapshot_delta(self, since_epoch=None, epoch=None) -> bytes:
+        """Framed incremental snapshot of the state changed since
+        ``since_epoch``; see :func:`repro.streaming.delta.engine_snapshot_delta`."""
+        from repro.streaming.delta import engine_snapshot_delta
+
+        return engine_snapshot_delta(self, since_epoch, epoch)
+
     # ------------------------------------------------------------------
     # Shared machinery
     # ------------------------------------------------------------------

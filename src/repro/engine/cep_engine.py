@@ -182,6 +182,38 @@ class AdaptiveCEPEngine:
             )
         return engine
 
+    def _delta_keyed_state(self):
+        """Change-tracked collections (incremental-snapshot hook).
+
+        The evaluation engines' emitted-key sets dominate long-run state;
+        statistics, partial matches and adaptation state churn every event
+        and travel in the skeleton (see :mod:`repro.streaming.delta`).
+        """
+        slots = [
+            (f"migration.{name}", holder, attr)
+            for name, holder, attr in self._migration._delta_keyed_state()
+        ]
+        slots.extend(
+            (f"stats.{name}", holder, attr)
+            for name, holder, attr in self._collector._delta_keyed_state()
+        )
+        return slots
+
+    def _delta_frozen_state(self):
+        """Immutable roots (pattern, plans, stateless planner) whose
+        references delta skeletons ship as tokens instead of re-pickling.
+        The policy and controller are *not* listed: their decision state
+        mutates between epochs."""
+        return [self.pattern, self.planner, *self._migration._delta_frozen_state()]
+
+    def snapshot_delta(self, since_epoch=None, epoch=None) -> bytes:
+        """Framed incremental snapshot of the state changed since the
+        ``since_epoch`` snapshot (partial-match/emission/statistics deltas
+        only); see :func:`repro.streaming.delta.engine_snapshot_delta`."""
+        from repro.streaming.delta import engine_snapshot_delta
+
+        return engine_snapshot_delta(self, since_epoch, epoch)
+
     # ------------------------------------------------------------------
     # Event-at-a-time API
     # ------------------------------------------------------------------

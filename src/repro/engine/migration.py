@@ -69,6 +69,32 @@ class PlanMigrationManager:
     # ------------------------------------------------------------------
     # Plan switching
     # ------------------------------------------------------------------
+    def _delta_keyed_state(self):
+        """Change-tracked collections of the active + draining engines.
+
+        Names are positional (``active`` / ``drainingN``): after a plan
+        switch the same position refers to a different engine, which the
+        delta diff detects and degrades to a self-contained reset for that
+        slot — correct, merely bigger for the one post-switch delta.
+        """
+        slots = [
+            (f"active.{name}", holder, attr)
+            for name, holder, attr in self._active._delta_keyed_state()
+        ]
+        for index, (engine, _retirement) in enumerate(self._draining):
+            slots.extend(
+                (f"draining{index}.{name}", holder, attr)
+                for name, holder, attr in engine._delta_keyed_state()
+            )
+        return slots
+
+    def _delta_frozen_state(self):
+        """Immutable roots of the active + draining engines (delta hook)."""
+        roots = list(self._active._delta_frozen_state())
+        for engine, _retirement in self._draining:
+            roots.extend(engine._delta_frozen_state())
+        return roots
+
     def switch_to(self, new_engine: EvaluationEngine, switch_time: float) -> None:
         """Install a new engine; the previous one drains for one window."""
         previous = self._active

@@ -95,6 +95,30 @@ class MultiPatternEngine:
             )
         return engine
 
+    def _delta_keyed_state(self):
+        """Change-tracked collections of every sub-engine (delta snapshots)."""
+        slots = []
+        for index, engine in enumerate(self._engines):
+            slots.extend(
+                (f"sub{index}.{name}", holder, attr)
+                for name, holder, attr in engine._delta_keyed_state()
+            )
+        return slots
+
+    def _delta_frozen_state(self):
+        """Immutable roots across the composite and its sub-engines."""
+        roots = [self.pattern]
+        for engine in self._engines:
+            roots.extend(engine._delta_frozen_state())
+        return roots
+
+    def snapshot_delta(self, since_epoch=None, epoch=None) -> bytes:
+        """Framed incremental snapshot since ``since_epoch``; see
+        :func:`repro.streaming.delta.engine_snapshot_delta`."""
+        from repro.streaming.delta import engine_snapshot_delta
+
+        return engine_snapshot_delta(self, since_epoch, epoch)
+
     # ------------------------------------------------------------------
     # Processing
     # ------------------------------------------------------------------

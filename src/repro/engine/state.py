@@ -24,6 +24,8 @@ from __future__ import annotations
 
 import pickle
 import pickletools
+import struct
+import zlib
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import CheckpointError
@@ -47,6 +49,14 @@ ORDERING_SNAPSHOT_MAGIC = b"repro-ordering-state"
 
 #: Bumped whenever the ordering-frame layout changes incompatibly.
 ORDERING_SNAPSHOT_VERSION = 1
+
+#: Frame prefix identifying an incremental (delta) state blob: the keyed
+#: collections changed since the previous epoch plus the re-pickled
+#: skeleton — see :func:`snapshot_delta_state` and :mod:`repro.streaming.delta`.
+DELTA_SNAPSHOT_MAGIC = b"repro-delta-state"
+
+#: Bumped whenever the delta-frame layout changes incompatibly.
+DELTA_SNAPSHOT_VERSION = 1
 
 
 def snapshot_engine(engine: object) -> bytes:
@@ -235,3 +245,70 @@ def restore_ordering_state(blob: bytes) -> Dict[str, Any]:
     if not isinstance(state, dict) or "ordering" not in state:
         raise CheckpointError("ordering snapshot decoded to an unexpected layout")
     return state
+
+
+# ----------------------------------------------------------------------
+# Delta framing (incremental checkpoints — repro.streaming.delta)
+# ----------------------------------------------------------------------
+def is_delta_snapshot(blob: bytes) -> bool:
+    """Whether ``blob`` is a :func:`snapshot_delta_state` frame."""
+    return isinstance(blob, (bytes, bytearray)) and bytes(blob).startswith(
+        DELTA_SNAPSHOT_MAGIC
+    )
+
+
+def snapshot_delta_state(payload: Dict[str, Any]) -> bytes:
+    """Frame one incremental-checkpoint delta into a durable blob.
+
+    ``payload`` is the per-epoch delta produced by
+    :class:`repro.streaming.delta.DeltaTracker`: a ``streams`` map of
+    per-stream skeleton blobs and keyed-collection diffs, the epoch lineage
+    (``epoch`` / ``since_epoch``) and optional coordinator metadata.  The
+    frame is ``magic + version + CRC32 + pickled payload``; the CRC covers
+    the payload, so a torn append-only delta file fails loudly on restore
+    (and the chain falls back to its longest intact prefix) instead of
+    unpickling garbage state.
+    """
+    if not isinstance(payload, dict) or "streams" not in payload:
+        raise CheckpointError("a delta frame requires a 'streams' entry")
+    try:
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception as exc:
+        raise CheckpointError(f"delta payload is not picklable: {exc}") from exc
+    header = DELTA_SNAPSHOT_MAGIC + bytes([DELTA_SNAPSHOT_VERSION])
+    return header + struct.pack("<I", zlib.crc32(body)) + body
+
+
+def restore_delta_state(blob: bytes) -> Dict[str, Any]:
+    """Unframe (and CRC-check) a :func:`snapshot_delta_state` blob."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise CheckpointError(
+            f"delta snapshot must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    prefix_length = len(DELTA_SNAPSHOT_MAGIC) + 1 + 4
+    if len(blob) <= prefix_length or not blob.startswith(DELTA_SNAPSHOT_MAGIC):
+        raise CheckpointError(
+            "not a delta snapshot (bad magic); was this blob produced by "
+            "snapshot_delta_state()?"
+        )
+    version = blob[len(DELTA_SNAPSHOT_MAGIC)]
+    if version != DELTA_SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"delta snapshot version {version} is not supported by this "
+            f"library build (expected {DELTA_SNAPSHOT_VERSION})"
+        )
+    crc_offset = len(DELTA_SNAPSHOT_MAGIC) + 1
+    (expected_crc,) = struct.unpack_from("<I", blob, crc_offset)
+    body = blob[prefix_length:]
+    if zlib.crc32(body) != expected_crc:
+        raise CheckpointError(
+            "delta snapshot failed its CRC check (torn or corrupted frame)"
+        )
+    try:
+        payload = pickle.loads(body)
+    except Exception as exc:
+        raise CheckpointError(f"corrupt delta snapshot: {exc}") from exc
+    if not isinstance(payload, dict) or "streams" not in payload:
+        raise CheckpointError("delta snapshot decoded to an unexpected layout")
+    return payload

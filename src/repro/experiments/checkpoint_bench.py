@@ -1,0 +1,236 @@
+"""Full-vs-delta checkpoint comparison — the CI perf-and-recovery gate.
+
+Replays one recorded workload through the streaming pipeline twice at the
+same checkpoint cadence — once with ``checkpoint_mode="full"`` and once
+with ``checkpoint_mode="delta"`` — and reports, per mode, the bytes
+persisted per checkpoint and the snapshot pause time.  Each mode is then
+killed mid-run (for delta mode the kill is placed *between a base and its
+next base*, so the resume replays a base-plus-deltas chain) and resumed,
+and the served match file is compared byte-for-byte against an
+uninterrupted reference run.
+
+:func:`enforce_checkpoint_gate` turns the rows into a pass/fail signal:
+delta checkpoints must write **strictly fewer** bytes per checkpoint than
+full checkpoints on the same workload, both modes must produce the
+reference match set, and both kill/resume runs must recover losslessly.
+CI runs this on the stocks workload and fails the build on any violation,
+so the incremental-checkpoint path cannot silently regress into
+"correct but no smaller than a full snapshot".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import build_dataset, build_workload
+from repro.experiments.streaming_rate import build_streaming_engine
+from repro.streaming import (
+    DEFAULT_CHECKPOINT_FULL_EVERY,
+    CheckpointStore,
+    CollectorSink,
+    JSONLMatchWriter,
+    ReplaySource,
+    StreamingPipeline,
+)
+from repro.streaming.sinks import match_record
+
+#: Checkpoint cadence (events) used when the caller does not override it.
+DEFAULT_CHECKPOINT_EVERY = 500
+
+#: Deltas per chain in delta mode (the pipeline-wide default).
+DEFAULT_FULL_EVERY = DEFAULT_CHECKPOINT_FULL_EVERY
+
+
+def _reference_records(config: ExperimentConfig, pattern, events, spec) -> List[str]:
+    """Sorted match records of an uninterrupted, checkpoint-free run."""
+    collector = CollectorSink()
+    pipeline = StreamingPipeline(
+        build_streaming_engine(config, pattern, spec),
+        ReplaySource(events),
+        sinks=[collector],
+        buffer_capacity=max(config.batch_size, 1),
+    )
+    pipeline.run()
+    return sorted(json.dumps(match_record(match)) for match in collector.matches)
+
+
+def checkpoint_mode_rows(
+    config: ExperimentConfig,
+    size: int = 3,
+    entities: int = 8,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    checkpoint_full_every: int = DEFAULT_FULL_EVERY,
+    modes: Sequence[str] = ("full", "delta"),
+    policy_spec: Optional[PolicySpec] = None,
+    workdir: Optional[str] = None,
+) -> List[Dict[str, float]]:
+    """One row per checkpoint mode: bytes, pause time, recovery verdict.
+
+    Every run replays the *same* recorded events, so ``matches`` must be
+    constant down the table; ``recovered`` is 1.0 when the mode's
+    kill/resume run served exactly the reference match set.  The kill
+    point is placed between two bases (after the first base plus at least
+    one delta at the configured cadence), which in delta mode forces the
+    resume to replay a base + deltas chain.
+    """
+    spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    if config.partition_by:
+        pattern, stream = workload.keyed_workload(
+            size,
+            duration=config.duration,
+            entities=entities,
+            key=config.partition_by,
+            seed=config.stream_seed,
+            max_events=config.max_events,
+        )
+    else:
+        pattern = workload.sequence_pattern(size)
+        stream = dataset.generate(
+            duration=config.duration,
+            seed=config.stream_seed,
+            max_events=config.max_events,
+        )
+    events = stream.to_list()
+    if checkpoint_every * 3 > len(events):
+        checkpoint_every = max(1, len(events) // 4)
+    kill_at = checkpoint_every * 2 + checkpoint_every // 2
+    expected = _reference_records(config, pattern, events, spec)
+    owns_workdir = workdir is None
+    base_dir = workdir or tempfile.mkdtemp(prefix="checkpoint-bench-")
+    try:
+        return _measure_modes(
+            config,
+            pattern,
+            events,
+            spec,
+            expected,
+            base_dir,
+            modes,
+            size,
+            checkpoint_every,
+            checkpoint_full_every,
+            kill_at,
+        )
+    finally:
+        if owns_workdir:
+            shutil.rmtree(base_dir, ignore_errors=True)
+
+
+def _measure_modes(
+    config,
+    pattern,
+    events,
+    spec,
+    expected,
+    base_dir,
+    modes,
+    size,
+    checkpoint_every,
+    checkpoint_full_every,
+    kill_at,
+) -> List[Dict[str, float]]:
+    rows: List[Dict[str, float]] = []
+    for mode in modes:
+        mode_dir = os.path.join(base_dir, mode)
+
+        def build_pipeline(sink, store):
+            return StreamingPipeline(
+                build_streaming_engine(config, pattern, spec),
+                ReplaySource(events),
+                sinks=[sink],
+                buffer_capacity=max(config.batch_size, 1),
+                checkpoint_store=store,
+                checkpoint_every=checkpoint_every,
+                checkpoint_mode=mode,
+                checkpoint_full_every=checkpoint_full_every,
+            )
+
+        # Throughput/size measurement: one uninterrupted checkpointed run.
+        collector = CollectorSink()
+        bench_store = CheckpointStore(os.path.join(mode_dir, "bench"), keep=3)
+        result = build_pipeline(collector, bench_store).run()
+        metrics = result.metrics
+        records = sorted(
+            json.dumps(match_record(match)) for match in collector.matches
+        )
+
+        # Recovery measurement: kill mid-chain, resume, compare the file.
+        sink_path = os.path.join(mode_dir, "matches.jsonl")
+        recovery_store = CheckpointStore(os.path.join(mode_dir, "recovery"), keep=3)
+        build_pipeline(JSONLMatchWriter(sink_path), recovery_store).run(
+            max_events=kill_at, final_checkpoint=False
+        )
+        resumed = build_pipeline(
+            JSONLMatchWriter(sink_path), recovery_store
+        ).run()
+        with open(sink_path, "r", encoding="utf-8") as handle:
+            served = sorted(line for line in handle.read().splitlines() if line)
+
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "algorithm": config.algorithm,
+                "size": size,
+                "mode": mode,
+                "events": float(result.events_processed),
+                "matches": float(len(collector.matches)),
+                "matches_expected": float(len(expected)),
+                "matches_ok": float(records == expected),
+                "throughput": result.throughput,
+                "checkpoints": float(metrics.checkpoints_written),
+                "checkpoint_bytes": float(metrics.checkpoint_bytes_written),
+                "bytes_per_checkpoint": metrics.checkpoint_bytes_mean,
+                "checkpoint_ms_mean": metrics.checkpoint.mean_seconds * 1e3,
+                "checkpoint_ms_max": metrics.checkpoint.max_seconds * 1e3,
+                "kill_at": float(kill_at),
+                "resumed_from": float(resumed.resumed_from),
+                "recovered": float(served == expected),
+            }
+        )
+    return rows
+
+
+def enforce_checkpoint_gate(rows: List[Dict[str, float]]) -> List[str]:
+    """Gate violations (empty = the build may pass).
+
+    * delta-mode bytes-per-checkpoint must be strictly smaller than
+      full-mode bytes-per-checkpoint;
+    * every mode must detect the reference match set;
+    * every mode's kill/resume run must recover losslessly.
+    """
+    problems: List[str] = []
+    by_mode = {row["mode"]: row for row in rows}
+    for mode, row in by_mode.items():
+        if row["matches_ok"] != 1.0:
+            problems.append(
+                f"{mode} mode detected {row['matches']:.0f} matches, expected "
+                f"{row['matches_expected']:.0f}"
+            )
+        if row["recovered"] != 1.0:
+            problems.append(
+                f"{mode} mode lost or duplicated matches across kill/resume "
+                f"(killed at event {row['kill_at']:.0f})"
+            )
+        if row["checkpoints"] < 3:
+            problems.append(
+                f"{mode} mode wrote only {row['checkpoints']:.0f} checkpoints; "
+                "the workload is too short for a meaningful comparison"
+            )
+    full = by_mode.get("full")
+    delta = by_mode.get("delta")
+    if full is None or delta is None:
+        problems.append("the gate needs both a full-mode and a delta-mode row")
+    elif delta["bytes_per_checkpoint"] >= full["bytes_per_checkpoint"]:
+        problems.append(
+            f"delta checkpoints are not smaller: "
+            f"{delta['bytes_per_checkpoint']:,.0f} bytes/checkpoint (delta) vs "
+            f"{full['bytes_per_checkpoint']:,.0f} (full)"
+        )
+    return problems

@@ -33,6 +33,12 @@ from typing import List, Optional
 
 from repro.errors import StreamingError
 from repro.experiments.ablations import k_invariant_ablation, selection_strategy_ablation
+from repro.experiments.checkpoint_bench import (
+    DEFAULT_CHECKPOINT_EVERY,
+    DEFAULT_FULL_EVERY,
+    checkpoint_mode_rows,
+    enforce_checkpoint_gate,
+)
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.distance_estimation import distance_estimation_table
 from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, find_optimal_distance
@@ -127,6 +133,26 @@ def _add_backend_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="shard workers for --backend thread/process (0 = use --shards)",
+    )
+
+
+def _add_checkpoint_mode_options(parser: argparse.ArgumentParser) -> None:
+    """Checkpoint-strategy options (serve / stream-bench / checkpoint-bench)."""
+    parser.add_argument(
+        "--checkpoint-mode",
+        choices=("full", "delta"),
+        default="full",
+        help="'full' pickles the whole engine state at every checkpoint; "
+        "'delta' writes a full base every --checkpoint-full-every "
+        "checkpoints and append-only incremental deltas (changed state "
+        "only) in between",
+    )
+    parser.add_argument(
+        "--checkpoint-full-every",
+        type=int,
+        default=DEFAULT_FULL_EVERY,
+        help="with --checkpoint-mode delta: deltas between two full base "
+        "snapshots (the chain length restore has to replay)",
     )
 
 
@@ -336,6 +362,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         sinks=sinks,
         checkpoint_store=store,
         checkpoint_every=args.checkpoint_every if store else 0,
+        checkpoint_mode=args.checkpoint_mode,
+        checkpoint_full_every=args.checkpoint_full_every,
         buffer_capacity=args.buffer_capacity,
         overflow_policy=overflow_policy_by_name(args.overflow),
         max_lateness=args.max_lateness,
@@ -394,7 +422,11 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.sink:
         print(f"matches written to {args.sink}")
     if store is not None:
-        print(f"checkpoints in {store.directory} ({store.stats()['checkpoints']} kept)")
+        stats = store.stats()
+        print(
+            f"checkpoints in {store.directory} "
+            f"({stats['checkpoints']} full + {stats['deltas']} delta kept)"
+        )
     return 0
 
 
@@ -443,6 +475,9 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
         rates=rates,
         size=int(args.size),
         entities=args.entities,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_mode=args.checkpoint_mode,
+        checkpoint_full_every=args.checkpoint_full_every,
         **ordering_kwargs,
     )
     columns = [
@@ -455,6 +490,8 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
     ]
     if args.max_lateness is not None:
         columns += ["late", "watermark_lag_max"]
+    if args.checkpoint_every:
+        columns += ["checkpoints", "bytes_per_checkpoint", "checkpoint_ms_mean"]
     print(
         format_table(
             rows,
@@ -466,6 +503,53 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
         )
     )
     _maybe_write_csv(rows, args.csv)
+    return 0
+
+
+def _run_checkpoint_bench(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    rows = checkpoint_mode_rows(
+        config,
+        size=int(args.size),
+        entities=args.entities,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_full_every=args.checkpoint_full_every,
+    )
+    print(
+        format_table(
+            rows,
+            [
+                "mode",
+                "checkpoints",
+                "bytes_per_checkpoint",
+                "checkpoint_ms_mean",
+                "checkpoint_ms_max",
+                "throughput",
+                "matches",
+                "recovered",
+            ],
+            title=(
+                f"{config.dataset}/{config.algorithm}: full vs delta "
+                f"checkpoints every {args.checkpoint_every} events "
+                f"(kill/resume verified per mode)"
+            ),
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    problems = enforce_checkpoint_gate(rows)
+    if problems:
+        for problem in problems:
+            print(f"checkpoint gate: {problem}", file=sys.stderr)
+        if args.enforce:
+            return 1
+    elif args.enforce:
+        full = next(row for row in rows if row["mode"] == "full")
+        delta = next(row for row in rows if row["mode"] == "delta")
+        saved = 1.0 - delta["bytes_per_checkpoint"] / full["bytes_per_checkpoint"]
+        print(
+            f"checkpoint gate: OK — delta writes {saved:.0%} fewer bytes per "
+            "checkpoint and kill/resume stayed exactly-once in both modes"
+        )
     return 0
 
 
@@ -548,6 +632,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(serve)
     _add_backend_options(serve)
     _add_ordering_options(serve)
+    _add_checkpoint_mode_options(serve)
     serve.add_argument(
         "--size", type=int, default=3, help="pattern size for the served pattern"
     )
@@ -619,6 +704,14 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_options(stream_bench)
     _add_backend_options(stream_bench)
     _add_ordering_options(stream_bench)
+    _add_checkpoint_mode_options(stream_bench)
+    stream_bench.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=0,
+        help="also checkpoint every N events during the rate sweep (into a "
+        "temporary store) and report bytes/pause-time columns; 0 = off",
+    )
     stream_bench.add_argument(
         "--size", type=int, default=3, help="pattern size for the benchmark pattern"
     )
@@ -643,6 +736,43 @@ def build_parser() -> argparse.ArgumentParser:
         f"{','.join(str(count) for count in DEFAULT_WORKER_COUNTS)}",
     )
     stream_bench.set_defaults(handler=_run_stream_bench)
+
+    checkpoint_bench = subparsers.add_parser(
+        "checkpoint-bench",
+        help="full vs delta checkpoint bytes/pause comparison with a "
+        "kill/resume recovery check per mode",
+    )
+    _add_common_options(checkpoint_bench)
+    _add_backend_options(checkpoint_bench)
+    checkpoint_bench.add_argument(
+        "--size", type=int, default=3, help="pattern size for the benchmark pattern"
+    )
+    checkpoint_bench.add_argument(
+        "--entities",
+        type=int,
+        default=8,
+        help="distinct partition-key values in the keyed stream (with --partition-by)",
+    )
+    checkpoint_bench.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=DEFAULT_CHECKPOINT_EVERY,
+        help="events between checkpoints (same cadence for both modes)",
+    )
+    checkpoint_bench.add_argument(
+        "--checkpoint-full-every",
+        type=int,
+        default=DEFAULT_FULL_EVERY,
+        help="delta mode: deltas between two full base snapshots",
+    )
+    checkpoint_bench.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit non-zero unless delta checkpoints are strictly smaller "
+        "than full checkpoints and both modes recover losslessly (the CI "
+        "regression gate)",
+    )
+    checkpoint_bench.set_defaults(handler=_run_checkpoint_bench)
 
     ablation_k = subparsers.add_parser("ablation-k", help="K-invariant ablation")
     _add_common_options(ablation_k)

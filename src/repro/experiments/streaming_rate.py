@@ -16,6 +16,8 @@ other rows are compared against.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
@@ -30,6 +32,7 @@ from repro.experiments.runner import (
 )
 from repro.parallel import ParallelCEPEngine
 from repro.streaming import (
+    CheckpointStore,
     CollectorSink,
     ReplaySource,
     StreamingPipeline,
@@ -91,6 +94,9 @@ def rate_sweep_rows(
     shuffle_slack: float = 0.0,
     max_lateness: Optional[float] = None,
     late_policy: str = "drop",
+    checkpoint_every: int = 0,
+    checkpoint_mode: str = "full",
+    checkpoint_full_every: int = 8,
 ) -> List[Dict[str, float]]:
     """One row per offered rate: achieved throughput, latency, queue depth.
 
@@ -105,6 +111,11 @@ def rate_sweep_rows(
     ordering stage — the out-of-order smoke mode: with
     ``max_lateness >= shuffle_slack`` the ``matches`` column must *still*
     be constant, now also proving the reordering path.
+
+    ``checkpoint_every`` > 0 additionally checkpoints each run (full or
+    delta per ``checkpoint_mode``) into a per-rate temporary store and adds
+    checkpoint-size/pause columns, so the checkpointing overhead at a
+    given cadence can be read off the same sweep.
     """
     spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
     dataset = build_dataset(config)
@@ -133,6 +144,11 @@ def rate_sweep_rows(
     for rate in rates:
         engine = build_streaming_engine(config, pattern, spec)
         collector = CollectorSink()
+        store = None
+        if checkpoint_every > 0:
+            store = CheckpointStore(
+                tempfile.mkdtemp(prefix=f"stream-bench-ckpt-{rate:g}-")
+            )
         pipeline = StreamingPipeline(
             engine,
             ReplaySource(events, rate=rate or None),
@@ -140,26 +156,39 @@ def rate_sweep_rows(
             buffer_capacity=max(config.batch_size, 1),
             max_lateness=max_lateness,
             late_policy=late_policy,
+            checkpoint_store=store,
+            checkpoint_every=checkpoint_every,
+            checkpoint_mode=checkpoint_mode,
+            checkpoint_full_every=checkpoint_full_every,
         )
-        result = pipeline.run()
+        try:
+            result = pipeline.run(resume=False)
+        finally:
+            # The per-rate store only exists to measure checkpoint cost.
+            if store is not None:
+                shutil.rmtree(store.directory, ignore_errors=True)
         metrics = result.metrics
-        rows.append(
-            {
-                "dataset": config.dataset,
-                "algorithm": config.algorithm,
-                "size": size,
-                "shards": config.shards,
-                "rate": rate,
-                "throughput": result.throughput,
-                "matches": float(len(collector.matches)),
-                "engine_ms_mean": metrics.engine.mean_seconds * 1e3,
-                "engine_ms_max": metrics.engine.max_seconds * 1e3,
-                "queue_high_water": float(metrics.queue_high_water),
-                "shed": float(metrics.events_shed),
-                "late": float(metrics.late_events),
-                "watermark_lag_max": metrics.watermark_lag.max_seconds,
-            }
-        )
+        row = {
+            "dataset": config.dataset,
+            "algorithm": config.algorithm,
+            "size": size,
+            "shards": config.shards,
+            "rate": rate,
+            "throughput": result.throughput,
+            "matches": float(len(collector.matches)),
+            "engine_ms_mean": metrics.engine.mean_seconds * 1e3,
+            "engine_ms_max": metrics.engine.max_seconds * 1e3,
+            "queue_high_water": float(metrics.queue_high_water),
+            "shed": float(metrics.events_shed),
+            "late": float(metrics.late_events),
+            "watermark_lag_max": metrics.watermark_lag.max_seconds,
+        }
+        if checkpoint_every > 0:
+            row["checkpoints"] = float(metrics.checkpoints_written)
+            row["checkpoint_bytes"] = float(metrics.checkpoint_bytes_written)
+            row["bytes_per_checkpoint"] = metrics.checkpoint_bytes_mean
+            row["checkpoint_ms_mean"] = metrics.checkpoint.mean_seconds * 1e3
+        rows.append(row)
     return rows
 
 

@@ -121,6 +121,10 @@ class PipelineMetrics:
     late_events: int = 0
     matches_emitted: int = 0
     checkpoints_written: int = 0
+    #: Bytes persisted by checkpointing (total and most recent file): the
+    #: gauge the full-vs-delta checkpoint comparison is measured by.
+    checkpoint_bytes_written: int = 0
+    last_checkpoint_bytes: int = 0
     queue_high_water: int = 0
     reorder_depth_high_water: int = 0
     workers: Dict[int, WorkerLaneMetrics] = field(default_factory=dict)
@@ -128,6 +132,18 @@ class PipelineMetrics:
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.queue_high_water:
             self.queue_high_water = depth
+
+    def observe_checkpoint_bytes(self, size: int) -> None:
+        """Account one persisted checkpoint (or delta) file."""
+        self.checkpoint_bytes_written += int(size)
+        self.last_checkpoint_bytes = int(size)
+
+    @property
+    def checkpoint_bytes_mean(self) -> float:
+        """Mean bytes per persisted checkpoint file."""
+        if self.checkpoints_written == 0:
+            return 0.0
+        return self.checkpoint_bytes_written / self.checkpoints_written
 
     def observe_watermark_lag(self, lag: float, reorder_depth: int) -> None:
         """Record one arrival's event-time lag and the reorder occupancy."""
@@ -162,6 +178,11 @@ class PipelineMetrics:
             "engine_ms_max": self.engine.max_seconds * 1e3,
             "sink_ms_mean": self.sink.mean_seconds * 1e3,
         }
+        if self.checkpoints_written:
+            row["checkpoint_bytes"] = float(self.checkpoint_bytes_written)
+            row["checkpoint_bytes_mean"] = self.checkpoint_bytes_mean
+            row["checkpoint_ms_mean"] = self.checkpoint.mean_seconds * 1e3
+            row["checkpoint_ms_max"] = self.checkpoint.max_seconds * 1e3
         if self.watermark_lag.observations or self.late_events:
             row["late_events"] = float(self.late_events)
             row["watermark_lag_mean"] = self.watermark_lag.mean_seconds

@@ -196,6 +196,36 @@ class ParallelCEPEngine:
             )
         return engine
 
+    def _delta_keyed_state(self):
+        """Change-tracked collections of every shard replica plus the
+        streaming deduplicator (incremental-snapshot hook)."""
+        slots = []
+        for shard in self._sharded.shards:
+            slots.extend(
+                (f"shard{shard.shard_id}.{name}", holder, attr)
+                for name, holder, attr in shard.engine._delta_keyed_state()
+            )
+        if self._streaming_dedup is not None:
+            slots.extend(
+                (f"dedup.{name}", holder, attr)
+                for name, holder, attr in self._streaming_dedup._delta_keyed_state()
+            )
+        return slots
+
+    def _delta_frozen_state(self):
+        """Immutable roots across the facade and its shard replicas."""
+        roots = [self.pattern]
+        for shard in self._sharded.shards:
+            roots.extend(shard.engine._delta_frozen_state())
+        return roots
+
+    def snapshot_delta(self, since_epoch=None, epoch=None) -> bytes:
+        """Framed incremental snapshot of every shard's state changed since
+        ``since_epoch``; see :func:`repro.streaming.delta.engine_snapshot_delta`."""
+        from repro.streaming.delta import engine_snapshot_delta
+
+        return engine_snapshot_delta(self, since_epoch, epoch)
+
     # ------------------------------------------------------------------
     # Whole-stream API
     # ------------------------------------------------------------------

@@ -116,6 +116,12 @@ class StreamingMatchDeduplicator:
             admitted.append(match)
         return admitted
 
+    def _delta_keyed_state(self):
+        """Change-tracked collections (incremental-snapshot hook): the
+        window-bounded seen-signature map, which dwarfs the rest of the
+        filter's state on long runs."""
+        return [("seen", self, "_seen")]
+
     def __repr__(self) -> str:
         return (
             f"<StreamingMatchDeduplicator window={self.window:g} "

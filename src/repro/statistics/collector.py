@@ -51,6 +51,24 @@ class StatisticsCollector:
         self._selectivity_estimators: Dict[PairKey, SlidingSelectivityEstimator] = {}
         self._last_time: float = 0.0
 
+    def _delta_keyed_state(self):
+        """Change-tracked collections for incremental snapshots.
+
+        The sliding counters' bucket runs are the bulk of collector state
+        and evolve append-at-the-tail / expire-at-the-head, so between two
+        checkpoints only a handful of buckets differ — exactly what
+        :mod:`repro.streaming.delta` ships.  Dict enumeration order is
+        insertion order, which pickling preserves, so the slot names are
+        stable across a snapshot/restore round trip.
+        """
+        slots = []
+        for name, estimator in self._rate_estimators.items():
+            slots.append((f"rate[{name}]", estimator._counter, "_buckets"))
+        for key, estimator in self._selectivity_estimators.items():
+            slots.append((f"sel[{key}].attempts", estimator._attempts, "_buckets"))
+            slots.append((f"sel[{key}].successes", estimator._successes, "_buckets"))
+        return slots
+
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------

@@ -34,6 +34,12 @@ The building blocks:
   snapshots of engine state + source offset + sink positions — plus the
   in-flight reorder buffer when ordering is active — giving kill/resume
   with no lost and no duplicated matches;
+* **incremental (delta) checkpoints** (:mod:`~repro.streaming.delta`) —
+  ``checkpoint_mode="delta"`` writes a full base every
+  ``checkpoint_full_every`` checkpoints and CRC-framed append-only deltas
+  of only the changed state between (``--checkpoint-mode delta`` on the
+  CLI); restore replays base + deltas, and worker backends ship per-shard
+  deltas through the snapshot barrier;
 * **the pipeline** (:mod:`~repro.streaming.pipeline`) — the run loop
   wiring it all together, with per-stage latency/queue metrics and
   graceful shutdown;
@@ -53,7 +59,13 @@ from repro.streaming.buffer import (
     OverflowPolicy,
     overflow_policy_by_name,
 )
-from repro.streaming.checkpoint import Checkpoint, CheckpointStore
+from repro.streaming.checkpoint import Checkpoint, CheckpointStore, DeltaCheckpoint
+from repro.streaming.delta import (
+    DeltaTracker,
+    engine_snapshot_delta,
+    materialize_engine_blob,
+    prime_engine_tracker,
+)
 from repro.streaming.ordering import (
     LATE_POLICIES,
     BoundedOutOfOrdernessWatermarks,
@@ -65,6 +77,8 @@ from repro.streaming.ordering import (
     reorder_events,
 )
 from repro.streaming.pipeline import (
+    CHECKPOINT_MODES,
+    DEFAULT_CHECKPOINT_FULL_EVERY,
     DEFAULT_FILL_CHUNK,
     PipelineResult,
     StreamingPipeline,
@@ -139,6 +153,14 @@ __all__ = [
     # checkpointing
     "Checkpoint",
     "CheckpointStore",
+    "DeltaCheckpoint",
+    "CHECKPOINT_MODES",
+    "DEFAULT_CHECKPOINT_FULL_EVERY",
+    # incremental (delta) snapshots
+    "DeltaTracker",
+    "engine_snapshot_delta",
+    "materialize_engine_blob",
+    "prime_engine_tracker",
     # execution backends (multi-core streaming)
     "ExecutionBackend",
     "InlineBackend",

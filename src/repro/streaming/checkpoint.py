@@ -1,4 +1,4 @@
-"""Durable pipeline checkpoints.
+"""Durable pipeline checkpoints (full snapshots and incremental chains).
 
 A checkpoint captures a consistent cut of the pipeline at an event
 boundary: the number of source records consumed, the serialized engine
@@ -17,14 +17,26 @@ difference must travel inside the checkpoint for kill/resume to stay
 exactly-once.  Both fields default to their pre-ordering values, so
 checkpoints written by older pipelines keep loading.
 
-Checkpoints are written atomically (temp file + ``os.replace``) into a
-directory, newest-last by a monotonically increasing index; the store
-keeps the most recent ``keep`` files so a torn write of the newest
-checkpoint still leaves a valid predecessor to fall back to.
+The store is an **epoch log**.  In full mode every save is a
+self-contained ``checkpoint-NNNNNNNNN.pkl`` (the original behaviour — and
+pre-existing directories restore unchanged).  In delta mode the pipeline
+writes a full *base* checkpoint every K deltas and append-only
+``delta-NNNNNNNNN.pkl`` records between them, each holding a CRC-framed
+:mod:`repro.streaming.delta` frame of only the state changed since the
+previous epoch.  ``latest()`` replays ``base + deltas`` back into a plain
+checkpoint (falling back chain-by-chain, and within a chain to the
+longest intact prefix, when files are torn or corrupt), ``compact()``
+folds the newest chain into a fresh base, and pruning retires whole
+chains oldest-first.  An atomic ``manifest.json`` records chain
+membership; a missing or torn manifest degrades to a directory scan.
+
+All files are written atomically (temp file + ``os.replace``); temp files
+orphaned by a death mid-write are swept when the store is opened.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 import re
@@ -34,8 +46,13 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import CheckpointError
+from repro.streaming.delta import materialize_engine_blob
 
 _CHECKPOINT_PATTERN = re.compile(r"^checkpoint-(\d{9})\.pkl$")
+_DELTA_PATTERN = re.compile(r"^delta-(\d{9})\.pkl$")
+_TEMP_PREFIXES = (".checkpoint-", ".delta-", ".manifest-")
+
+MANIFEST_NAME = "manifest.json"
 
 
 @dataclass
@@ -55,6 +72,8 @@ class Checkpoint:
     #: Framed in-flight ordering state (see
     #: :func:`repro.engine.state.snapshot_ordering_state`), or ``None``.
     ordering_blob: Optional[bytes] = None
+    #: Delta epoch this full snapshot anchors (``None`` outside delta mode).
+    delta_epoch: Optional[int] = None
 
     def describe(self) -> str:
         in_flight = ""
@@ -68,16 +87,50 @@ class Checkpoint:
         )
 
 
+@dataclass
+class DeltaCheckpoint:
+    """One append-only delta record in an incremental checkpoint chain.
+
+    Carries the CRC-framed state delta plus full copies of the small
+    bookkeeping the pipeline needs at restore (counters, sink positions,
+    in-flight ordering state) — only the engine state, which dominates
+    checkpoint size, is delta-encoded.
+    """
+
+    events_processed: int
+    matches_emitted: int
+    frame: bytes
+    base_index: int
+    epoch: int
+    since_epoch: int
+    sink_states: List[Any] = field(default_factory=list)
+    pattern_name: str = ""
+    created_at: float = 0.0
+    index: int = 0
+    records_ingested: int = -1
+    ordering_blob: Optional[bytes] = None
+
+    def describe(self) -> str:
+        return (
+            f"delta #{self.index} (epoch {self.since_epoch}→{self.epoch}, "
+            f"base #{self.base_index}): {self.events_processed} events, "
+            f"{len(self.frame)} delta bytes"
+        )
+
+
 class CheckpointStore:
     """Directory-backed checkpoint persistence.
 
     Parameters
     ----------
     directory:
-        Where checkpoint files live; created on first save.
+        Where checkpoint files live; created on first save.  Temp files
+        orphaned by a crash mid-write are swept when the store is opened.
     keep:
-        How many most-recent checkpoints to retain (older ones are pruned
-        after each successful save).
+        How many most-recent checkpoint *chains* to retain (in full mode a
+        chain is a single checkpoint, so this matches the original
+        keep-N-files behaviour; in delta mode a chain is a base plus its
+        deltas).
     clock:
         Wall-clock source stamped into ``created_at`` (injectable for
         deterministic tests, like the sources' and pipeline's clocks).
@@ -94,45 +147,151 @@ class CheckpointStore:
         self.directory = directory
         self.keep = int(keep)
         self._clock = clock
+        self._sweep_temp_files()
 
     # ------------------------------------------------------------------
     # Listing
     # ------------------------------------------------------------------
-    def _indices(self) -> List[int]:
+    def _sweep_temp_files(self) -> int:
+        """Remove temp files orphaned by a death mid-write; returns count.
+
+        Runs on store open: an interrupted atomic write leaves its
+        ``.checkpoint-*.tmp`` (or delta/manifest) file behind, and nothing
+        else will ever reclaim it — a high-cadence service would slowly
+        fill the checkpoint directory with garbage.
+        """
+        try:
+            names = os.listdir(self.directory)
+        except FileNotFoundError:
+            return 0
+        removed = 0
+        for name in names:
+            if name.endswith(".tmp") and name.startswith(_TEMP_PREFIXES):
+                try:
+                    os.unlink(os.path.join(self.directory, name))
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def _scan(self, pattern: "re.Pattern[str]") -> List[int]:
         try:
             names = os.listdir(self.directory)
         except FileNotFoundError:
             return []
         indices = []
         for name in names:
-            matched = _CHECKPOINT_PATTERN.match(name)
+            matched = pattern.match(name)
             if matched:
                 indices.append(int(matched.group(1)))
         return sorted(indices)
 
+    def _indices(self) -> List[int]:
+        return self._scan(_CHECKPOINT_PATTERN)
+
+    def _delta_indices(self) -> List[int]:
+        return self._scan(_DELTA_PATTERN)
+
     def _path(self, index: int) -> str:
         return os.path.join(self.directory, f"checkpoint-{index:09d}.pkl")
+
+    def _delta_path(self, index: int) -> str:
+        return os.path.join(self.directory, f"delta-{index:09d}.pkl")
+
+    def _next_index(self) -> int:
+        indices = self._indices() + self._delta_indices()
+        return (max(indices) + 1) if indices else 0
 
     def latest_index(self) -> Optional[int]:
         indices = self._indices()
         return indices[-1] if indices else None
 
     # ------------------------------------------------------------------
+    # The chain manifest
+    # ------------------------------------------------------------------
+    def _manifest_path(self) -> str:
+        return os.path.join(self.directory, MANIFEST_NAME)
+
+    def _load_manifest(self) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._manifest_path(), "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (FileNotFoundError, OSError, ValueError):
+            return None
+        if not isinstance(manifest, dict) or not isinstance(
+            manifest.get("chains"), list
+        ):
+            return None
+        return manifest
+
+    def _write_manifest(self, chains: List[Dict[str, Any]]) -> None:
+        payload = json.dumps({"version": 1, "chains": chains}, indent=0)
+        self._write_atomic(
+            self._manifest_path(),
+            ".manifest-",
+            lambda handle: handle.write(payload.encode("utf-8")),
+        )
+
+    def _chains(self) -> List[Dict[str, Any]]:
+        """Chain membership: manifest truth, reconciled with the directory.
+
+        Files the manifest does not know (a crash can land between a file
+        write and its manifest update) are folded in positionally — a
+        stray delta joins the nearest preceding base's chain, where lineage
+        validation at restore time has the final say.  Chains are ordered
+        by their newest member, so the chain holding the most recent
+        progress is last even when an older chain kept growing past a
+        compaction base.
+        """
+        bases = self._indices()
+        deltas = self._delta_indices()
+        base_set, delta_set = set(bases), set(deltas)
+        chains: List[Dict[str, Any]] = []
+        known: set = set()
+        manifest = self._load_manifest()
+        if manifest is not None:
+            for chain in manifest["chains"]:
+                base = chain.get("base")
+                if not isinstance(base, int) or base not in base_set:
+                    continue
+                members = [
+                    index
+                    for index in chain.get("deltas", [])
+                    if isinstance(index, int) and index in delta_set
+                ]
+                chains.append({"base": base, "deltas": sorted(members)})
+                known.add(base)
+                known.update(members)
+        for base in bases:
+            if base not in known:
+                chains.append({"base": base, "deltas": []})
+                known.add(base)
+        chains.sort(key=lambda chain: chain["base"])
+        for index in deltas:
+            if index in known:
+                continue
+            owner = None
+            for chain in chains:
+                if chain["base"] < index:
+                    owner = chain
+            if owner is not None:
+                owner["deltas"] = sorted(set(owner["deltas"]) | {index})
+                known.add(index)
+        chains.sort(key=lambda chain: max([chain["base"], *chain["deltas"]]))
+        return chains
+
+    # ------------------------------------------------------------------
     # Persistence
     # ------------------------------------------------------------------
-    def save(self, checkpoint: Checkpoint) -> str:
-        """Atomically persist a checkpoint; returns the file path."""
+    def _write_atomic(self, path: str, prefix: str, write: Callable[[Any], Any]) -> None:
+        """Temp file + fsync + ``os.replace``; ``write`` fills the handle."""
         os.makedirs(self.directory, exist_ok=True)
-        latest = self.latest_index()
-        checkpoint.index = 0 if latest is None else latest + 1
-        checkpoint.created_at = self._clock()
-        path = self._path(checkpoint.index)
         descriptor, temp_path = tempfile.mkstemp(
-            dir=self.directory, prefix=".checkpoint-", suffix=".tmp"
+            dir=self.directory, prefix=prefix, suffix=".tmp"
         )
         try:
             with os.fdopen(descriptor, "wb") as handle:
-                pickle.dump(checkpoint, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                write(handle)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(temp_path, path)
@@ -141,8 +300,58 @@ class CheckpointStore:
                 os.unlink(temp_path)
             except OSError:
                 pass
-            raise CheckpointError(f"failed to write checkpoint: {exc}") from exc
+            raise CheckpointError(f"failed to write {path!r}: {exc}") from exc
+
+    def _write_pickle(self, path: str, prefix: str, payload: Any) -> None:
+        self._write_atomic(
+            path,
+            prefix,
+            lambda handle: pickle.dump(
+                payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+            ),
+        )
+
+    def save(self, checkpoint: Checkpoint) -> str:
+        """Atomically persist a full (base) checkpoint; returns the path.
+
+        Starts a new chain in the manifest; older chains beyond ``keep``
+        are pruned (base and deltas together).
+        """
+        os.makedirs(self.directory, exist_ok=True)
+        chains = self._chains()
+        checkpoint.index = self._next_index()
+        checkpoint.created_at = self._clock()
+        path = self._path(checkpoint.index)
+        self._write_pickle(path, ".checkpoint-", checkpoint)
+        chains.append({"base": checkpoint.index, "deltas": []})
+        try:
+            self._write_manifest(chains)
+        except CheckpointError:
+            pass  # scan fallback keeps the store usable
         self._prune()
+        return path
+
+    def save_delta(self, record: DeltaCheckpoint) -> str:
+        """Append one delta record to its base's chain; returns the path."""
+        chains = self._chains()
+        target = None
+        for chain in chains:
+            if chain["base"] == record.base_index:
+                target = chain
+        if target is None:
+            raise CheckpointError(
+                f"cannot append a delta to base #{record.base_index}: no such "
+                "base checkpoint in the store (was it pruned?)"
+            )
+        record.index = self._next_index()
+        record.created_at = self._clock()
+        path = self._delta_path(record.index)
+        self._write_pickle(path, ".delta-", record)
+        target["deltas"] = sorted(set(target["deltas"]) | {record.index})
+        try:
+            self._write_manifest(chains)
+        except CheckpointError:
+            pass
         return path
 
     def load(self, index: int) -> Checkpoint:
@@ -161,24 +370,116 @@ class CheckpointStore:
             )
         return checkpoint
 
-    def latest(self) -> Optional[Checkpoint]:
-        """The most recent *readable* checkpoint, or ``None``.
+    def load_delta(self, index: int) -> DeltaCheckpoint:
+        path = self._delta_path(index)
+        try:
+            with open(path, "rb") as handle:
+                record = pickle.load(handle)
+        except FileNotFoundError:
+            raise CheckpointError(f"no delta #{index} in {self.directory!r}") from None
+        except Exception as exc:
+            raise CheckpointError(f"corrupt delta {path!r}: {exc}") from exc
+        if not isinstance(record, DeltaCheckpoint):
+            raise CheckpointError(
+                f"{path!r} does not contain a DeltaCheckpoint "
+                f"(got {type(record).__name__})"
+            )
+        return record
 
-        Falls back to older checkpoints when the newest is corrupt (e.g. the
-        process died mid-``os.replace`` on a non-atomic filesystem).
+    # ------------------------------------------------------------------
+    # Restore (chain replay)
+    # ------------------------------------------------------------------
+    def _chain_records(
+        self, base: Checkpoint, chain: Dict[str, Any]
+    ) -> List[DeltaCheckpoint]:
+        """The longest intact, lineage-consistent delta prefix of a chain."""
+        records: List[DeltaCheckpoint] = []
+        previous_epoch = base.delta_epoch if getattr(base, "delta_epoch", None) is not None else None
+        for index in chain["deltas"]:
+            try:
+                record = self.load_delta(index)
+            except CheckpointError:
+                break  # torn tail: replay what is intact
+            if record.base_index != chain["base"]:
+                break  # stray delta from another lineage (scan fallback)
+            if previous_epoch is not None and record.since_epoch != previous_epoch:
+                break  # epoch gap: a delta in between was lost
+            records.append(record)
+            previous_epoch = record.epoch
+        return records
+
+    def _materialize(
+        self, base: Checkpoint, records: List[DeltaCheckpoint]
+    ) -> Checkpoint:
+        blob = materialize_engine_blob(
+            base.engine_blob, [record.frame for record in records]
+        )
+        last = records[-1]
+        return Checkpoint(
+            events_processed=last.events_processed,
+            matches_emitted=last.matches_emitted,
+            engine_blob=blob,
+            sink_states=list(last.sink_states),
+            pattern_name=last.pattern_name,
+            created_at=last.created_at,
+            index=last.index,
+            records_ingested=last.records_ingested,
+            ordering_blob=last.ordering_blob,
+            delta_epoch=last.epoch,
+        )
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent *restorable* checkpoint, or ``None``.
+
+        Delta chains are replayed ``base + deltas``; a corrupt or
+        inconsistent delta truncates the replay to the chain's longest
+        intact prefix, and a corrupt base falls back to the previous chain
+        (resuming further back is always safe — the pipeline just
+        re-processes a longer suffix, still exactly-once).
         """
         last_error: Optional[CheckpointError] = None
-        for index in reversed(self._indices()):
+        for chain in reversed(self._chains()):
             try:
-                return self.load(index)
+                base = self.load(chain["base"])
             except CheckpointError as exc:
                 last_error = exc
+                continue
+            records = self._chain_records(base, chain)
+            while records:
+                try:
+                    return self._materialize(base, records)
+                except CheckpointError as exc:
+                    last_error = exc
+                    records = records[:-1]
+            return base
         if last_error is not None:
             raise last_error
         return None
 
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def compact(self) -> Optional[str]:
+        """Fold the newest chain into a fresh full base; returns its path.
+
+        A long-running delta-mode service can call this to bound restore
+        replay length without waiting for the next scheduled base.  No-op
+        (returns ``None``) when the newest state is already a bare base.
+        """
+        chains = self._chains()
+        if not chains:
+            return None
+        newest = chains[-1]
+        if not newest["deltas"]:
+            return None
+        checkpoint = self.latest()
+        if checkpoint is None:
+            return None
+        checkpoint.delta_epoch = None  # a compacted base anchors no live tracker
+        return self.save(checkpoint)
+
     def clear(self) -> int:
-        """Delete every checkpoint; returns how many were removed."""
+        """Delete every checkpoint, delta and the manifest; returns count."""
         removed = 0
         for index in self._indices():
             try:
@@ -186,22 +487,47 @@ class CheckpointStore:
                 removed += 1
             except OSError:
                 pass
+        for index in self._delta_indices():
+            try:
+                os.unlink(self._delta_path(index))
+                removed += 1
+            except OSError:
+                pass
+        try:
+            os.unlink(self._manifest_path())
+        except OSError:
+            pass
         return removed
 
     def _prune(self) -> None:
-        indices = self._indices()
-        for index in indices[: -self.keep]:
+        chains = self._chains()
+        retired = chains[: -self.keep]
+        if not retired:
+            return
+        for chain in retired:
+            for index in chain["deltas"]:
+                try:
+                    os.unlink(self._delta_path(index))
+                except OSError:
+                    pass
             try:
-                os.unlink(self._path(index))
+                os.unlink(self._path(chain["base"]))
             except OSError:
                 pass
+        try:
+            self._write_manifest(chains[-self.keep :])
+        except CheckpointError:
+            pass
 
     def stats(self) -> Dict[str, Any]:
         indices = self._indices()
+        deltas = self._delta_indices()
         return {
             "directory": self.directory,
             "checkpoints": len(indices),
-            "latest_index": indices[-1] if indices else None,
+            "deltas": len(deltas),
+            "chains": len(self._chains()),
+            "latest_index": max(indices + deltas) if indices or deltas else None,
         }
 
     def __repr__(self) -> str:

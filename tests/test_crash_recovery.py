@@ -71,7 +71,20 @@ def workload():
     return pattern, events, expected
 
 
-def _build_pipeline(pattern, events, sink_path, store, backend_cls, partitioner):
+#: Delta-mode chain length used by the fuzz (short, so random kill points
+#: frequently land *between* a base and its deltas).
+FULL_EVERY = 3
+
+
+def _build_pipeline(
+    pattern,
+    events,
+    sink_path,
+    store,
+    backend_cls,
+    partitioner,
+    checkpoint_mode="full",
+):
     engine = ParallelCEPEngine(
         pattern,
         GreedyOrderPlanner(),
@@ -86,18 +99,34 @@ def _build_pipeline(pattern, events, sink_path, store, backend_cls, partitioner)
         sinks=[JSONLMatchWriter(sink_path)],
         checkpoint_store=store,
         checkpoint_every=CHECKPOINT_EVERY,
+        checkpoint_mode=checkpoint_mode,
+        checkpoint_full_every=FULL_EVERY,
     )
 
 
 def _kill_resume_verify(
-    pattern, events, expected, tmp_path, label, kill_at, backend_cls, partitioner
+    pattern,
+    events,
+    expected,
+    tmp_path,
+    label,
+    kill_at,
+    backend_cls,
+    partitioner,
+    checkpoint_mode="full",
 ):
     sink_path = str(tmp_path / f"matches-{label}.jsonl")
     store = CheckpointStore(str(tmp_path / f"ckpt-{label}"))
 
     def build():
         return _build_pipeline(
-            pattern, events, sink_path, store, backend_cls, partitioner
+            pattern,
+            events,
+            sink_path,
+            store,
+            backend_cls,
+            partitioner,
+            checkpoint_mode=checkpoint_mode,
         )
 
     # Kill: process exactly `kill_at` events, then drop all in-memory state
@@ -159,6 +188,171 @@ def test_process_worker_kill_resume_fuzz(workload, tmp_path, kill_at):
         ProcessWorkerBackend,
         BroadcastPartitioner(),
     )
+
+
+@pytest.mark.parametrize("kill_at", _fuzz_offsets()[::2][:5])
+def test_delta_checkpoint_kill_resume_fuzz(workload, tmp_path, kill_at):
+    """Incremental checkpoints keep the exactly-once contract under kills.
+
+    ``checkpoint_every=40`` with ``checkpoint_full_every=3`` makes every
+    fourth checkpoint a base, so these randomized kill points land at
+    every chain position — on a fresh base, mid-chain between a base and
+    its deltas, and on the last delta before a rebase.
+    """
+    pattern, events, expected = workload
+    _kill_resume_verify(
+        pattern,
+        events,
+        expected,
+        tmp_path,
+        f"delta-{kill_at}",
+        kill_at,
+        ThreadWorkerBackend,
+        BroadcastPartitioner(),
+        checkpoint_mode="delta",
+    )
+
+
+def test_delta_kill_lands_between_base_and_deltas(workload, tmp_path):
+    """A kill whose recovery point is provably a base + deltas chain."""
+    pattern, events, expected = workload
+    sink_path = str(tmp_path / "matches-midchain.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-midchain"))
+
+    def build():
+        return _build_pipeline(
+            pattern,
+            events,
+            sink_path,
+            store,
+            ThreadWorkerBackend,
+            BroadcastPartitioner(),
+            checkpoint_mode="delta",
+        )
+
+    # 2 checkpoints fit before the kill: a base (40) and one delta (80) —
+    # the resume must replay the chain, not just a full snapshot.
+    kill_at = 2 * CHECKPOINT_EVERY + CHECKPOINT_EVERY // 2
+    first = build().run(max_events=kill_at, final_checkpoint=False)
+    assert first.stop_reason == "max-events"
+    stats = store.stats()
+    assert stats["checkpoints"] >= 1 and stats["deltas"] >= 1, (
+        "the kill point must leave a base plus at least one delta behind "
+        "for this test to exercise chain replay"
+    )
+    assert store.latest().events_processed == 2 * CHECKPOINT_EVERY
+
+    second = build().run()
+    assert second.resumed_from == 2 * CHECKPOINT_EVERY
+    assert second.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected
+
+
+def test_delta_process_worker_kill_resume(workload, tmp_path):
+    """Per-shard deltas over the process-worker barrier survive a kill."""
+    pattern, events, expected = workload
+    _kill_resume_verify(
+        pattern,
+        events,
+        expected,
+        tmp_path,
+        "delta-process",
+        EVENT_COUNT // 2 + 7,
+        ProcessWorkerBackend,
+        BroadcastPartitioner(),
+        checkpoint_mode="delta",
+    )
+
+
+def test_delta_double_kill_resume(workload, tmp_path):
+    """kill → resume → kill → resume with incremental checkpoints."""
+    pattern, events, expected = workload
+    sink_path = str(tmp_path / "matches-delta-double.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-delta-double"))
+
+    def build():
+        return _build_pipeline(
+            pattern,
+            events,
+            sink_path,
+            store,
+            ThreadWorkerBackend,
+            BroadcastPartitioner(),
+            checkpoint_mode="delta",
+        )
+
+    build().run(max_events=130, final_checkpoint=False)
+    build().run(max_events=150, final_checkpoint=False)  # resumes at 120, dies again
+    final = build().run()
+    assert final.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected
+
+
+def test_delta_kill_with_nonempty_reorder_buffer(workload, tmp_path):
+    """Disorder + incremental checkpoints + kill: ordering state survives."""
+    pattern, events, expected = workload
+    slack = 1.5
+    shuffled = bounded_shuffle(events, slack, seed=47)
+    sink_path = str(tmp_path / "matches-delta-reorder.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-delta-reorder"))
+
+    def build():
+        engine = ParallelCEPEngine(
+            pattern,
+            GreedyOrderPlanner(),
+            InvariantBasedPolicy(),
+            shards=2,
+            partitioner=BroadcastPartitioner(),
+        )
+        return StreamingPipeline(
+            ThreadWorkerBackend(engine, feed_batch=8),
+            ReplaySource(shuffled),
+            sinks=[JSONLMatchWriter(sink_path)],
+            checkpoint_store=store,
+            checkpoint_every=CHECKPOINT_EVERY,
+            checkpoint_mode="delta",
+            checkpoint_full_every=FULL_EVERY,
+            max_lateness=slack,
+        )
+
+    first = build().run(max_events=173, final_checkpoint=False)
+    assert first.stop_reason == "max-events"
+    checkpoint = store.latest()
+    state = restore_ordering_state(checkpoint.ordering_blob)
+    assert state["ordering"].depth > 0
+
+    second = build().run()
+    assert second.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected
+
+
+def test_full_mode_resumes_delta_mode_store(workload, tmp_path):
+    """Mode downgrade: a full-mode pipeline resumes a delta-mode store."""
+    pattern, events, expected = workload
+    sink_path = str(tmp_path / "matches-downgrade.jsonl")
+    store = CheckpointStore(str(tmp_path / "ckpt-downgrade"))
+
+    def build(mode):
+        return _build_pipeline(
+            pattern,
+            events,
+            sink_path,
+            store,
+            ThreadWorkerBackend,
+            BroadcastPartitioner(),
+            checkpoint_mode=mode,
+        )
+
+    build("delta").run(max_events=170, final_checkpoint=False)
+    assert store.stats()["deltas"] >= 1
+    final = build("full").run()
+    assert final.resumed_from == 160
+    assert final.total_events_processed == len(events)
+    served = sorted(line for line in open(sink_path).read().splitlines() if line)
+    assert served == expected
 
 
 def test_key_partitioned_kill_resume(workload, tmp_path):
