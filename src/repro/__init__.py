@@ -191,6 +191,13 @@ from repro.streaming import (
     MetricsSink,
     CheckpointStore,
 )
+from repro.obs import (
+    ControlPlane,
+    DecisionLog,
+    DecisionRecord,
+    MetricsRegistry,
+    Tracer,
+)
 
 __version__ = "1.1.0"
 
@@ -295,4 +302,10 @@ __all__ = [
     "JSONLMatchWriter",
     "MetricsSink",
     "CheckpointStore",
+    # observability
+    "ControlPlane",
+    "DecisionLog",
+    "DecisionRecord",
+    "MetricsRegistry",
+    "Tracer",
 ]

@@ -89,8 +89,29 @@ class AdaptationController:
         self._min_relative_improvement = float(min_relative_improvement)
         self._current_result: Optional[PlanGenerationResult] = None
         self.statistics = AdaptationStatistics()
+        #: Optional replacement observer ``(AdaptationRecord) -> None``,
+        #: called whenever a plan is actually replaced — the streaming
+        #: decision log's ``replan`` hook.  Process-local: excluded from
+        #: pickled state (controllers travel inside engine snapshots and
+        #: to worker processes) and re-attached by the pipeline.
+        self.decision_sink = None
         if initial_snapshot is not None:
             self._install_initial_plan(initial_snapshot)
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        state["decision_sink"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Snapshots from builds that predate the sink lack the key.
+        self.__dict__.setdefault("decision_sink", None)
+
+    def _notify_replacement(self, record: AdaptationRecord) -> None:
+        sink = getattr(self, "decision_sink", None)
+        if sink is not None:
+            sink(record)
 
     # ------------------------------------------------------------------
     # Accessors
@@ -150,15 +171,15 @@ class AdaptationController:
             self._current_result = result
             self._policy.on_plan_installed(result, snapshot)
             self.statistics.plans_replaced += 1
-            self.statistics.replacements.append(
-                AdaptationRecord(
-                    time=snapshot.timestamp,
-                    reason="initial plan",
-                    previous_cost=float("inf"),
-                    new_cost=result.plan.cost(snapshot),
-                    plan_description=result.plan.describe(),
-                )
+            record = AdaptationRecord(
+                time=snapshot.timestamp,
+                reason="initial plan",
+                previous_cost=float("inf"),
+                new_cost=result.plan.cost(snapshot),
+                plan_description=result.plan.describe(),
             )
+            self.statistics.replacements.append(record)
+            self._notify_replacement(record)
             return result.plan
 
         started = time.perf_counter()
@@ -187,15 +208,15 @@ class AdaptationController:
         self._current_result = new_result
         self._policy.on_plan_installed(new_result, snapshot)
         self.statistics.plans_replaced += 1
-        self.statistics.replacements.append(
-            AdaptationRecord(
-                time=snapshot.timestamp,
-                reason=decision.reason,
-                previous_cost=current_cost,
-                new_cost=new_cost,
-                plan_description=new_result.plan.describe(),
-            )
+        record = AdaptationRecord(
+            time=snapshot.timestamp,
+            reason=decision.reason,
+            previous_cost=current_cost,
+            new_cost=new_cost,
+            plan_description=new_result.plan.describe(),
         )
+        self.statistics.replacements.append(record)
+        self._notify_replacement(record)
         return new_result.plan
 
     # ------------------------------------------------------------------

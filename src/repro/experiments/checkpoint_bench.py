@@ -68,7 +68,7 @@ def checkpoint_mode_rows(
     modes: Sequence[str] = ("full", "delta"),
     policy_spec: Optional[PolicySpec] = None,
     workdir: Optional[str] = None,
-) -> List[Dict[str, float]]:
+) -> List[Dict[str, object]]:
     """One row per checkpoint mode: bytes, pause time, recovery verdict.
 
     Every run replays the *same* recorded events, so ``matches`` must be
@@ -135,8 +135,8 @@ def _measure_modes(
     checkpoint_every,
     checkpoint_full_every,
     kill_at,
-) -> List[Dict[str, float]]:
-    rows: List[Dict[str, float]] = []
+) -> List[Dict[str, object]]:
+    rows: List[Dict[str, object]] = []
     for mode in modes:
         mode_dir = os.path.join(base_dir, mode)
 
@@ -157,6 +157,10 @@ def _measure_modes(
         bench_store = CheckpointStore(os.path.join(mode_dir, "bench"), keep=3)
         result = build_pipeline(collector, bench_store).run()
         metrics = result.metrics
+        reasons = bench_store.stats().get("reasons", {})
+        reason_summary = (
+            " ".join(f"{k}:{v}" for k, v in sorted(reasons.items())) or "-"
+        )
         records = sorted(
             json.dumps(match_record(match)) for match in collector.matches
         )
@@ -192,6 +196,7 @@ def _measure_modes(
                 "kill_at": float(kill_at),
                 "resumed_from": float(resumed.resumed_from),
                 "recovered": float(served == expected),
+                "reasons": reason_summary,
             }
         )
     return rows

@@ -14,6 +14,8 @@ and run the engine as a continuously-ingesting service::
         --sink matches.jsonl --checkpoint-dir ckpt --checkpoint-every 10000
     python -m repro.experiments.cli serve --backend process --workers 4 \
         --partition-by entity_id --dataset stocks
+    python -m repro.experiments.cli serve --control-port 8080 \
+        --decision-log decisions.jsonl --checkpoint-dir ckpt
     python -m repro.experiments.cli stream-bench --rates 0,2000,8000
     python -m repro.experiments.cli stream-bench --backend process \
         --worker-counts 1,2,4
@@ -53,6 +55,7 @@ from repro.experiments.streaming_rate import (
     rate_sweep_rows,
     worker_sweep_rows,
 )
+from repro.obs import ControlPlane, DecisionLog, MetricsRegistry, Tracer
 from repro.streaming import (
     CheckpointStore,
     CSVFileSource,
@@ -181,6 +184,38 @@ def _add_ordering_options(parser: argparse.ArgumentParser) -> None:
         help="inject seeded bounded disorder (each event displaced by up to "
         "this many stream-time units) into the synthetic replay — the "
         "out-of-order smoke mode; pair with --max-lateness >= the slack",
+    )
+
+
+def _add_observability_options(parser: argparse.ArgumentParser) -> None:
+    """Observability options (serve)."""
+    parser.add_argument(
+        "--control-port",
+        type=int,
+        default=None,
+        help="start the HTTP control plane on this port: /health, /ready, "
+        "/metrics (Prometheus; ?format=json), /decisions and "
+        "POST /checkpoint (0 = an ephemeral port, printed at startup)",
+    )
+    parser.add_argument(
+        "--control-host",
+        type=str,
+        default="127.0.0.1",
+        help="bind address for --control-port",
+    )
+    parser.add_argument(
+        "--decision-log",
+        type=str,
+        default=None,
+        help="append a JSONL audit trail of runtime decisions (shed, late "
+        "events, checkpoint cuts, compactions, re-plans) to this file; an "
+        "existing file is continued, not truncated",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record batch-level spans (source → reorder → engine → sink) "
+        "for per-cycle timing attribution; off by default",
     )
 
 
@@ -356,6 +391,15 @@ def _run_serve(args: argparse.Namespace) -> int:
         sinks.append(JSONLMatchWriter(args.sink))
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
 
+    # Observability: a decision log when asked for (file-backed via
+    # --decision-log, in-memory-only when just the control plane wants to
+    # answer /decisions), a tracer behind --trace, and the HTTP control
+    # plane behind --control-port.
+    decision_log = None
+    if args.decision_log or args.control_port is not None:
+        decision_log = DecisionLog(args.decision_log)
+    tracer = Tracer() if args.trace else None
+
     pipeline = StreamingPipeline(
         engine,
         _serve_source(args, config, dataset, workload),
@@ -368,7 +412,23 @@ def _run_serve(args: argparse.Namespace) -> int:
         overflow_policy=overflow_policy_by_name(args.overflow),
         max_lateness=args.max_lateness,
         late_policy=args.late_policy,
+        decision_log=decision_log,
+        tracer=tracer,
     )
+
+    control = None
+    if args.control_port is not None:
+        registry = MetricsRegistry()
+        registry.register_pipeline(pipeline.metrics)
+        control = ControlPlane(
+            pipeline=pipeline,
+            registry=registry,
+            decision_log=decision_log,
+            host=args.control_host,
+            port=args.control_port,
+        )
+        control.start()
+        print(f"control plane listening on {control.url}")
 
     # Graceful shutdown on Ctrl-C: finish the in-flight event, write a final
     # checkpoint, flush the sinks.  A second Ctrl-C falls through to the
@@ -383,6 +443,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         result = pipeline.run(max_events=args.serve_events)
     finally:
         signal.signal(signal.SIGINT, previous_handler)
+        if control is not None:
+            control.stop()
 
     print(
         f"pipeline stopped ({result.stop_reason}): "
@@ -423,10 +485,45 @@ def _run_serve(args: argparse.Namespace) -> int:
         print(f"matches written to {args.sink}")
     if store is not None:
         stats = store.stats()
+        reasons = stats.get("reasons", {})
+        reason_note = (
+            " [" + ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items())) + "]"
+            if reasons
+            else ""
+        )
         print(
             f"checkpoints in {store.directory} "
             f"({stats['checkpoints']} full + {stats['deltas']} delta kept)"
+            + reason_note
         )
+    if decision_log is not None:
+        counts = decision_log.counts_by_type()
+        summary = (
+            ", ".join(f"{k}: {v}" for k, v in sorted(counts.items()))
+            if counts
+            else "none"
+        )
+        destination = args.decision_log if args.decision_log else "in-memory"
+        print(f"decisions recorded ({destination}): {summary}")
+        decision_log.close()
+    if tracer is not None:
+        totals = tracer.stage_totals()
+        if totals:
+            print(
+                format_table(
+                    [
+                        {
+                            "stage": stage,
+                            "spans": agg["spans"],
+                            "events": agg["events"],
+                            "seconds": agg["seconds"],
+                        }
+                        for stage, agg in totals.items()
+                    ],
+                    ["stage", "spans", "events", "seconds"],
+                    title="trace spans by stage",
+                )
+            )
     return 0
 
 
@@ -483,9 +580,11 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
     columns = [
         "rate",
         "throughput",
+        "events_ingested",
         "engine_ms_mean",
         "engine_ms_max",
         "queue_high_water",
+        "shed_fraction",
         "matches",
     ]
     if args.max_lateness is not None:
@@ -527,6 +626,7 @@ def _run_checkpoint_bench(args: argparse.Namespace) -> int:
                 "throughput",
                 "matches",
                 "recovered",
+                "reasons",
             ],
             title=(
                 f"{config.dataset}/{config.algorithm}: full vs delta "
@@ -696,6 +796,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after processing this many events (default: run the source dry)",
     )
+    _add_observability_options(serve)
     serve.set_defaults(handler=_run_serve)
 
     stream_bench = subparsers.add_parser(

@@ -179,7 +179,9 @@ def rate_sweep_rows(
             "engine_ms_mean": metrics.engine.mean_seconds * 1e3,
             "engine_ms_max": metrics.engine.max_seconds * 1e3,
             "queue_high_water": float(metrics.queue_high_water),
+            "events_ingested": float(metrics.events_ingested),
             "shed": float(metrics.events_shed),
+            "shed_fraction": metrics.shed_fraction,
             "late": float(metrics.late_events),
             "watermark_lag_max": metrics.watermark_lag.max_seconds,
         }

@@ -165,40 +165,45 @@ class PipelineMetrics:
         return self.events_shed / self.events_ingested
 
     def as_row(self) -> Dict[str, float]:
-        """Flat dictionary representation used by report tables."""
-        row = {
+        """Flat dictionary representation used by report tables.
+
+        The column set is **stable**: every key is present in every row,
+        zero-filled when the corresponding feature (checkpointing,
+        event-time ordering, worker lanes) was not active — so the rows of
+        one sweep always agree on headers and concatenate into a
+        rectangular CSV.
+        """
+        lanes = list(self.workers.values())
+        return {
+            "events_ingested": float(self.events_ingested),
             "events": float(self.events_processed),
             "matches": float(self.matches_emitted),
             "shed": float(self.events_shed),
             "shed_fraction": self.shed_fraction,
+            "late_events": float(self.late_events),
             "queue_high_water": float(self.queue_high_water),
             "checkpoints": float(self.checkpoints_written),
             "source_ms_mean": self.source.mean_seconds * 1e3,
             "engine_ms_mean": self.engine.mean_seconds * 1e3,
             "engine_ms_max": self.engine.max_seconds * 1e3,
             "sink_ms_mean": self.sink.mean_seconds * 1e3,
-        }
-        if self.checkpoints_written:
-            row["checkpoint_bytes"] = float(self.checkpoint_bytes_written)
-            row["checkpoint_bytes_mean"] = self.checkpoint_bytes_mean
-            row["checkpoint_ms_mean"] = self.checkpoint.mean_seconds * 1e3
-            row["checkpoint_ms_max"] = self.checkpoint.max_seconds * 1e3
-        if self.watermark_lag.observations or self.late_events:
-            row["late_events"] = float(self.late_events)
-            row["watermark_lag_mean"] = self.watermark_lag.mean_seconds
-            row["watermark_lag_max"] = self.watermark_lag.max_seconds
-            row["reorder_depth_hw"] = float(self.reorder_depth_high_water)
-        if self.workers:
-            lanes = list(self.workers.values())
-            row["workers"] = float(len(lanes))
-            row["worker_queue_hw_max"] = float(
-                max(lane.queue_high_water for lane in lanes)
-            )
-            row["worker_batch_ms_mean"] = (
+            "checkpoint_bytes": float(self.checkpoint_bytes_written),
+            "checkpoint_bytes_mean": self.checkpoint_bytes_mean,
+            "checkpoint_ms_mean": self.checkpoint.mean_seconds * 1e3,
+            "checkpoint_ms_max": self.checkpoint.max_seconds * 1e3,
+            "watermark_lag_mean": self.watermark_lag.mean_seconds,
+            "watermark_lag_max": self.watermark_lag.max_seconds,
+            "reorder_depth_hw": float(self.reorder_depth_high_water),
+            "workers": float(len(lanes)),
+            "worker_queue_hw_max": float(
+                max((lane.queue_high_water for lane in lanes), default=0)
+            ),
+            "worker_batch_ms_mean": (
                 sum(lane.processing.total_seconds for lane in lanes)
                 / max(1, sum(lane.processing.observations for lane in lanes))
-            ) * 1e3
-        return row
+            )
+            * 1e3,
+        }
 
     def __repr__(self) -> str:
         return (

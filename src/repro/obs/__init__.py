@@ -1,0 +1,64 @@
+"""Operational observability for the streaming service.
+
+Everything an operator needs to see *into* a running pipeline instead of
+waiting for the end-of-run report:
+
+* **metrics export** (:mod:`~repro.obs.registry`) — a lock-safe
+  :class:`MetricsRegistry` snapshotting the live
+  :class:`~repro.metrics.stage_metrics.PipelineMetrics` (worker lanes,
+  checkpoint-bytes gauges included) into Prometheus text exposition or
+  JSON, sampled at scrape time with zero cost on the per-event hot path;
+* **the decision log** (:mod:`~repro.obs.decisions`) — a typed,
+  append-only JSONL audit trail of every runtime action (``shed``,
+  ``late_event_policy``, ``checkpoint_cut``, ``compaction``, ``replan``)
+  with a bounded in-memory tail, on-disk rotation, restart-continuous
+  sequence numbers, and a query API;
+* **tracing** (:mod:`~repro.obs.tracing`) — batch-level spans following
+  one fill/drain cycle through source → reorder → worker → merge → sink,
+  off by default, reconciling exactly with the aggregate ``StageTiming``;
+* **the control plane** (:mod:`~repro.obs.control`) — a stdlib
+  ``http.server`` thread serving ``/health``, ``/ready``, ``/metrics``,
+  ``/decisions`` and ``POST /checkpoint`` on the running pipeline.
+
+CLI wiring: ``serve --control-port 8080 --decision-log decisions.jsonl``
+(add ``--trace`` to enable span recording).  This package must stay free
+of :mod:`repro.streaming` imports — the pipeline imports *us*.
+"""
+
+from repro.obs.control import CHECKPOINT_WAIT_SECONDS, ControlPlane
+from repro.obs.decisions import (
+    DECISION_TYPES,
+    CoalescingEmitter,
+    DecisionLog,
+    DecisionRecord,
+    read_decision_records,
+    verify_continuity,
+)
+from repro.obs.registry import (
+    MetricsRegistry,
+    Sample,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.tracing import Span, Tracer
+
+__all__ = [
+    # decision log
+    "DecisionLog",
+    "DecisionRecord",
+    "CoalescingEmitter",
+    "DECISION_TYPES",
+    "read_decision_records",
+    "verify_continuity",
+    # metrics export
+    "MetricsRegistry",
+    "Sample",
+    "render_prometheus",
+    "render_json",
+    # tracing
+    "Tracer",
+    "Span",
+    # control plane
+    "ControlPlane",
+    "CHECKPOINT_WAIT_SECONDS",
+]

@@ -1,0 +1,153 @@
+"""Batch-level tracing: following one fill/drain cycle across stages.
+
+Aggregate stage timings answer *where time goes on average*; they cannot
+answer *what happened to this batch* — whether a latency spike came from a
+slow source pull, a reorder flush, a straggler shard worker, or a sink
+stall.  The tracer records **spans**: one per stage traversal, tagged with
+a trace ID that identifies the fill/drain cycle the batch belonged to, so
+a single cycle can be reconstructed end to end
+(``source → reorder → worker → merge → sink``).
+
+Design constraints, in priority order:
+
+1. **Zero cost when disabled.**  Tracing is off by default; the pipeline
+   guards every call site with ``if tracer is not None``, so the hot path
+   carries no tracing branches beyond a ``None`` check.
+2. **Cheap when enabled.**  A span is a tuple append into a bounded deque
+   under a lock — no allocation-heavy context managers on the per-event
+   path; the pipeline records spans at *batch* granularity (one per stage
+   per cycle), not per event.
+3. **Reconciles with StageTiming.**  The pipeline feeds the tracer the
+   *same* measured elapsed values it feeds the aggregate
+   :class:`~repro.metrics.stage_metrics.StageTiming` objects, so per-stage
+   span totals and the aggregate totals agree exactly
+   (:meth:`Tracer.stage_totals` exists to assert this in tests).
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, List, Optional
+
+#: Default bound on retained spans (a span is ~100 bytes).
+DEFAULT_MAX_SPANS = 4096
+
+
+@dataclass
+class Span:
+    """One stage traversal of one traced batch."""
+
+    trace_id: int
+    stage: str
+    seconds: float
+    events: int = 0
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "trace_id": self.trace_id,
+            "stage": self.stage,
+            "seconds": self.seconds,
+            "events": self.events,
+        }
+        if self.attrs:
+            payload.update(self.attrs)
+        return payload
+
+
+class Tracer:
+    """Bounded, thread-safe span recorder for the streaming pipeline.
+
+    ``new_trace()`` mints the next trace ID (one per fill/drain cycle);
+    ``record()`` appends a span against the current trace.  Old spans are
+    discarded beyond ``max_spans`` — the tracer is a flight recorder, not
+    an archive.
+    """
+
+    def __init__(self, max_spans: int = DEFAULT_MAX_SPANS):
+        self._lock = threading.Lock()
+        self._spans: Deque[Span] = deque(maxlen=int(max_spans))
+        self._ids = itertools.count(1)
+        self._current = 0
+
+    def new_trace(self) -> int:
+        """Start the next trace (fill/drain cycle); returns its ID."""
+        with self._lock:
+            self._current = next(self._ids)
+            return self._current
+
+    @property
+    def current_trace(self) -> int:
+        with self._lock:
+            return self._current
+
+    def record(
+        self,
+        stage: str,
+        seconds: float,
+        events: int = 0,
+        trace_id: Optional[int] = None,
+        **attrs: Any,
+    ) -> Span:
+        """Record one stage traversal against the current (or given) trace."""
+        with self._lock:
+            span = Span(
+                trace_id=self._current if trace_id is None else trace_id,
+                stage=stage,
+                seconds=float(seconds),
+                events=int(events),
+                attrs=attrs,
+            )
+            self._spans.append(span)
+            return span
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def spans(
+        self, trace_id: Optional[int] = None, stage: Optional[str] = None
+    ) -> List[Span]:
+        with self._lock:
+            spans = list(self._spans)
+        if trace_id is not None:
+            spans = [span for span in spans if span.trace_id == trace_id]
+        if stage is not None:
+            spans = [span for span in spans if span.stage == stage]
+        return spans
+
+    def trace_ids(self) -> List[int]:
+        """Distinct trace IDs with retained spans, in first-seen order."""
+        seen: Dict[int, None] = {}
+        with self._lock:
+            for span in self._spans:
+                seen.setdefault(span.trace_id, None)
+        return list(seen)
+
+    def stage_totals(self) -> Dict[str, Dict[str, float]]:
+        """Per-stage ``{seconds, spans, events}`` totals over retained spans.
+
+        When no spans have been evicted, the per-stage ``seconds`` here
+        equals the corresponding :class:`StageTiming.total_seconds` for
+        stages the pipeline traces — the reconciliation the tests assert.
+        """
+        totals: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            spans = list(self._spans)
+        for span in spans:
+            bucket = totals.setdefault(
+                span.stage, {"seconds": 0.0, "spans": 0.0, "events": 0.0}
+            )
+            bucket["seconds"] += span.seconds
+            bucket["spans"] += 1.0
+            bucket["events"] += span.events
+        return totals
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._spans)
+
+    def __repr__(self) -> str:
+        return f"<Tracer spans={len(self)} current_trace={self.current_trace}>"

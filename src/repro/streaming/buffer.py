@@ -22,7 +22,7 @@ matches involving dropped events.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional
+from typing import Callable, Deque, Iterator, List, Optional
 
 from repro.errors import StreamingError
 from repro.events import Event
@@ -57,6 +57,8 @@ class DropNewest(OverflowPolicy):
 
     def on_full(self, buffer: "BoundedBuffer", event: Event) -> bool:
         buffer.events_shed += 1
+        if buffer.on_shed is not None:
+            buffer.on_shed(event, self.name)
         return True  # "handled": the event is consumed, just not buffered
 
 
@@ -97,6 +99,10 @@ class BoundedBuffer:
         self._events: Deque[Event] = deque()
         self.events_shed = 0
         self.high_water = 0
+        #: Optional shed observer ``(event, policy_name) -> None``, called
+        #: for every event a drop policy discards — the decision-log hook.
+        #: Must be cheap: it runs on the overload path.
+        self.on_shed: Optional[Callable[[Event, str], None]] = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -141,7 +147,10 @@ class BoundedBuffer:
         if not self._events:
             raise StreamingError("cannot evict from an empty buffer")
         self.events_shed += 1
-        return self._events.popleft()
+        event = self._events.popleft()
+        if self.on_shed is not None:
+            self.on_shed(event, self.policy.name)
+        return event
 
     def pop(self) -> Event:
         """Remove and return the oldest buffered event."""

@@ -74,6 +74,10 @@ class Checkpoint:
     ordering_blob: Optional[bytes] = None
     #: Delta epoch this full snapshot anchors (``None`` outside delta mode).
     delta_epoch: Optional[int] = None
+    #: Why this checkpoint was cut: ``"periodic"`` (cadence), ``"manual"``
+    #: (control-plane ``POST /checkpoint``), ``"shutdown"`` (final cut) or
+    #: ``"compaction"`` (chain folded by :meth:`CheckpointStore.compact`).
+    reason: str = "periodic"
 
     def describe(self) -> str:
         in_flight = ""
@@ -109,6 +113,8 @@ class DeltaCheckpoint:
     index: int = 0
     records_ingested: int = -1
     ordering_blob: Optional[bytes] = None
+    #: Why this delta was cut (same vocabulary as :attr:`Checkpoint.reason`).
+    reason: str = "periodic"
 
     def describe(self) -> str:
         return (
@@ -147,6 +153,9 @@ class CheckpointStore:
         self.directory = directory
         self.keep = int(keep)
         self._clock = clock
+        #: Optional maintenance observer ``(type, **detail) -> None``:
+        #: the decision-log hook for store-side actions (``compaction``).
+        self.observer: Optional[Callable[..., None]] = None
         self._sweep_temp_files()
 
     # ------------------------------------------------------------------
@@ -259,12 +268,31 @@ class CheckpointStore:
                     for index in chain.get("deltas", [])
                     if isinstance(index, int) and index in delta_set
                 ]
-                chains.append({"base": base, "deltas": sorted(members)})
+                reasons = chain.get("reasons")
+                live = {base, *members}
+                kept_reasons = (
+                    {
+                        key: value
+                        for key, value in reasons.items()
+                        if isinstance(key, str)
+                        and key.isdigit()
+                        and int(key) in live
+                    }
+                    if isinstance(reasons, dict)
+                    else {}
+                )
+                chains.append(
+                    {
+                        "base": base,
+                        "deltas": sorted(members),
+                        "reasons": kept_reasons,
+                    }
+                )
                 known.add(base)
                 known.update(members)
         for base in bases:
             if base not in known:
-                chains.append({"base": base, "deltas": []})
+                chains.append({"base": base, "deltas": [], "reasons": {}})
                 known.add(base)
         chains.sort(key=lambda chain: chain["base"])
         for index in deltas:
@@ -323,7 +351,17 @@ class CheckpointStore:
         checkpoint.created_at = self._clock()
         path = self._path(checkpoint.index)
         self._write_pickle(path, ".checkpoint-", checkpoint)
-        chains.append({"base": checkpoint.index, "deltas": []})
+        chains.append(
+            {
+                "base": checkpoint.index,
+                "deltas": [],
+                "reasons": {
+                    str(checkpoint.index): getattr(
+                        checkpoint, "reason", "periodic"
+                    )
+                },
+            }
+        )
         try:
             self._write_manifest(chains)
         except CheckpointError:
@@ -348,6 +386,9 @@ class CheckpointStore:
         path = self._delta_path(record.index)
         self._write_pickle(path, ".delta-", record)
         target["deltas"] = sorted(set(target["deltas"]) | {record.index})
+        target.setdefault("reasons", {})[str(record.index)] = getattr(
+            record, "reason", "periodic"
+        )
         try:
             self._write_manifest(chains)
         except CheckpointError:
@@ -426,6 +467,7 @@ class CheckpointStore:
             records_ingested=last.records_ingested,
             ordering_blob=last.ordering_blob,
             delta_epoch=last.epoch,
+            reason=getattr(last, "reason", "periodic"),
         )
 
     def latest(self) -> Optional[Checkpoint]:
@@ -476,7 +518,17 @@ class CheckpointStore:
         if checkpoint is None:
             return None
         checkpoint.delta_epoch = None  # a compacted base anchors no live tracker
-        return self.save(checkpoint)
+        checkpoint.reason = "compaction"
+        path = self.save(checkpoint)
+        if self.observer is not None:
+            self.observer(
+                "compaction",
+                base=newest["base"],
+                deltas_folded=len(newest["deltas"]),
+                events_processed=checkpoint.events_processed,
+                path=path,
+            )
+        return path
 
     def clear(self) -> int:
         """Delete every checkpoint, delta and the manifest; returns count."""
@@ -522,12 +574,18 @@ class CheckpointStore:
     def stats(self) -> Dict[str, Any]:
         indices = self._indices()
         deltas = self._delta_indices()
+        chains = self._chains()
+        reasons: Dict[str, int] = {}
+        for chain in chains:
+            for reason in (chain.get("reasons") or {}).values():
+                reasons[reason] = reasons.get(reason, 0) + 1
         return {
             "directory": self.directory,
             "checkpoints": len(indices),
             "deltas": len(deltas),
-            "chains": len(self._chains()),
+            "chains": len(chains),
             "latest_index": max(indices + deltas) if indices or deltas else None,
+            "reasons": reasons,
         }
 
     def __repr__(self) -> str:

@@ -346,6 +346,13 @@ class DeltaTracker:
         # identity tokens stay valid) and their id → token map.
         self._cold_objects: List[object] = []
         self._cold_ids: Dict[int, Tuple[str, int]] = {}
+        #: Degradation gauges for observability: how the last encode came
+        #: out (``"delta"``/``"base"``) and how often a requested delta
+        #: degraded to a self-contained base because continuity could not
+        #: be proven — a climbing counter on a long-running service means
+        #: the chain is silently paying full-snapshot costs.
+        self.last_kind: Optional[str] = None
+        self.degraded_encodes = 0
 
     def prime(self, epoch: int) -> None:
         """Remember the current collection contents as epoch ``epoch``."""
@@ -373,6 +380,9 @@ class DeltaTracker:
             and self._prev is not None
             and self.epoch == since_epoch
         )
+        self.last_kind = "delta" if continuous else "base"
+        if since_epoch is not None and not continuous:
+            self.degraded_encodes += 1
         skeleton, collections = extract_keyed_state(
             self._target, self._cold_ids if continuous else None
         )
@@ -426,6 +436,24 @@ def shared_tracker(target: object) -> DeltaTracker:
     if tracker is None:
         tracker = _TRACKERS[target] = DeltaTracker(target)
     return tracker
+
+
+def tracker_degradation(target: object) -> Dict[str, Any]:
+    """Degradation gauges of a live object's tracker (for decision records).
+
+    Read-only: does **not** create a tracker — an object that was never
+    delta-encoded reports ``{"last_kind": None, "degraded_encodes": 0}``.
+    """
+    try:
+        tracker = _TRACKERS.get(target)
+    except TypeError:  # unhashable / non-weakrefable target
+        tracker = None
+    if tracker is None:
+        return {"last_kind": None, "degraded_encodes": 0}
+    return {
+        "last_kind": tracker.last_kind,
+        "degraded_encodes": tracker.degraded_encodes,
+    }
 
 
 def engine_snapshot_delta(

@@ -203,6 +203,12 @@ class ReorderBuffer:
         self.watermarks = watermarks
         self.late_policy = late_policy
         self._late_sink = late_sink
+        #: Optional late-event observer ``(event, policy_name) -> None``,
+        #: called for every arrival behind the watermark (including ones
+        #: about to raise) — the decision-log hook.  Process-local: it is
+        #: excluded from pickled state (see ``__getstate__``) and must be
+        #: re-attached after a checkpoint restore.
+        self.on_late: Optional[Callable[[Event, str], None]] = None
         # Heap entries are (timestamp, sequence_number, tiebreak, event): the
         # first two give the deterministic release order, the running
         # tiebreak keeps comparisons from ever reaching the Event itself.
@@ -263,7 +269,22 @@ class ReorderBuffer:
             released.append(heapq.heappop(self._heap)[3])
         return released
 
+    def __getstate__(self) -> dict:
+        # The buffer is pickled into checkpoints; observers are live
+        # process-local callbacks (often bound to a DecisionLog file
+        # handle) and must not travel with the state.
+        state = self.__dict__.copy()
+        state["on_late"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        # Checkpoints from builds that predate the observer lack the key.
+        self.__dict__.setdefault("on_late", None)
+
     def _handle_late(self, event: Event) -> None:
+        if self.on_late is not None:
+            self.on_late(event, self.late_policy)
         if self.late_policy == "raise":
             raise StreamingError(
                 f"late event: {event!r} is behind the watermark "

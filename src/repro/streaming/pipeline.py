@@ -40,17 +40,22 @@ single-threaded :class:`~repro.streaming.workers.InlineBackend`.
 from __future__ import annotations
 
 import os
+import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
 
 from repro.engine import Match
 from repro.engine.state import restore_ordering_state, snapshot_ordering_state
 from repro.errors import CheckpointError, StreamingError
 from repro.events import Event, EventStream
 from repro.metrics import PipelineMetrics
-from repro.streaming.buffer import BoundedBuffer, OverflowPolicy
+from repro.obs.decisions import CoalescingEmitter, DecisionLog
+from repro.obs.tracing import Tracer
+from repro.streaming.buffer import Backpressure, BoundedBuffer, OverflowPolicy
 from repro.streaming.checkpoint import Checkpoint, CheckpointStore, DeltaCheckpoint
+from repro.streaming.delta import tracker_degradation
 from repro.streaming.ordering import ReorderBuffer
 from repro.streaming.sinks import MatchSink
 from repro.streaming.sources import EventSource, IterableSource
@@ -160,6 +165,8 @@ class StreamingPipeline:
         max_lateness: Optional[float] = None,
         late_policy: str = "drop",
         late_sink: Optional[Callable[[Event], None]] = None,
+        decision_log: Optional[DecisionLog] = None,
+        tracer: Optional[Tracer] = None,
     ):
         self._backend = (
             engine if isinstance(engine, ExecutionBackend) else InlineBackend(engine)
@@ -226,6 +233,26 @@ class StreamingPipeline:
         self._stop_requested = False
         self._running = False
 
+        # Observability: the decision log receives a typed record for every
+        # runtime action (coalesced for the per-event shed/late decisions so
+        # the overload path never pays a file write per event); the tracer
+        # records batch-level spans when enabled.  Both are optional and the
+        # hot path only ever pays ``is not None`` checks for them.
+        self.decision_log = decision_log
+        self.tracer = tracer
+        self._shed_emitter: Optional[CoalescingEmitter] = None
+        self._late_emitter: Optional[CoalescingEmitter] = None
+        if decision_log is not None:
+            self._shed_emitter = CoalescingEmitter(decision_log, "shed")
+            self._late_emitter = CoalescingEmitter(decision_log, "late_event_policy")
+        self._attach_observers()
+        # Lifecycle state backing the control plane's /ready endpoint:
+        # created → restoring → running → stopped.
+        self._state = "created"
+        # Manual checkpoint requests (control-plane POST /checkpoint): the
+        # run loop performs the cut between batches and sets the events.
+        self._manual_requests: "deque[threading.Event]" = deque()
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
@@ -274,6 +301,120 @@ class StreamingPipeline:
     @property
     def matches_emitted(self) -> int:
         return self._matches_emitted_total
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Lifecycle state: ``created`` / ``restoring`` / ``running`` / ``stopped``."""
+        return self._state
+
+    def readiness(self) -> "tuple[bool, str]":
+        """Whether the pipeline should receive traffic, and why (not).
+
+        Distinct from liveness: a pipeline replaying a checkpoint chain or
+        saturated under backpressure is *alive* but not *ready* — the
+        control plane's ``/ready`` endpoint answers 503 from this signal
+        so a load balancer routes around the instance without killing it.
+        """
+        if self._state == "restoring":
+            return False, "restoring from checkpoint"
+        if not self._running:
+            return False, f"pipeline is not running (state={self._state})"
+        if self._buffer.full and isinstance(self._buffer.policy, Backpressure):
+            return False, "backpressure: staging buffer saturated"
+        return True, "ok"
+
+    def request_checkpoint(self) -> threading.Event:
+        """Request a manual checkpoint cut (thread-safe; ``POST /checkpoint``).
+
+        The run loop performs the cut between batches — through the same
+        barrier a cadence-triggered cut uses — and sets the returned event
+        when it lands.  Raises when no store is configured or the pipeline
+        is not running (nothing would ever service the request).
+        """
+        if self._store is None:
+            raise StreamingError("no checkpoint store configured")
+        if not self._running:
+            raise StreamingError("pipeline is not running")
+        done = threading.Event()
+        self._manual_requests.append(done)
+        return done
+
+    def _record_decision(self, type: str, **detail) -> None:
+        if self.decision_log is not None:
+            self.decision_log.record(type, **detail)
+
+    def _on_shed(self, event: Event, policy: str) -> None:
+        self._shed_emitter.observe(
+            sample={"type": event.type_name, "timestamp": event.timestamp},
+            policy=policy,
+        )
+
+    def _on_late(self, event: Event, policy: str) -> None:
+        self._late_emitter.observe(
+            sample={
+                "type": event.type_name,
+                "timestamp": event.timestamp,
+                "watermark": self._ordering.watermark if self._ordering else None,
+            },
+            policy=policy,
+        )
+
+    def _on_replan(self, record) -> None:
+        self._record_decision(
+            "replan",
+            reason=record.reason,
+            previous_cost=record.previous_cost,
+            new_cost=record.new_cost,
+            plan=record.plan_description,
+            events_processed=self._events_processed_total,
+        )
+
+    def _iter_controllers(self, engine=None) -> Iterator[object]:
+        """Every live AdaptationController reachable from the engine.
+
+        Walks the engine shapes duck-typed: a bare adaptive engine's
+        ``controller``, a multi-pattern engine's ``sub_engines()``, and a
+        sharded parallel engine's per-shard engines.  Process-worker
+        replicas live out-of-process and cannot be walked — their replan
+        records are unavailable (a documented best-effort boundary).
+        """
+        if engine is None:
+            engine = self._backend.engine
+        controller = getattr(engine, "controller", None)
+        if controller is not None:
+            yield controller
+        sub_engines = getattr(engine, "sub_engines", None)
+        if callable(sub_engines):
+            for sub in sub_engines():
+                if sub is not engine:
+                    yield from self._iter_controllers(sub)
+        sharded = getattr(engine, "sharded_engine", None)
+        if sharded is not None:
+            for shard in getattr(sharded, "shards", ()) or ():
+                inner = getattr(shard, "engine", None)
+                if inner is not None and inner is not engine:
+                    yield from self._iter_controllers(inner)
+
+    def _attach_observers(self) -> None:
+        """(Re-)attach decision hooks to the live buffer/ordering/engine.
+
+        Called at construction and again after a checkpoint restore — the
+        restore replaces the ordering buffer and the engine state, and the
+        hooks are process-local attributes deliberately excluded from
+        pickled state.
+        """
+        if self.decision_log is None:
+            return
+        self._buffer.on_shed = self._on_shed
+        if self._ordering is not None:
+            self._ordering.on_late = self._on_late
+        for controller in self._iter_controllers():
+            controller.decision_sink = self._on_replan
+        if self._store is not None:
+            self._store.observer = self._record_decision
 
     # ------------------------------------------------------------------
     # Graceful shutdown
@@ -355,8 +496,11 @@ class StreamingPipeline:
         else:
             self._records_ingested_total = checkpoint.events_processed
             self._source.skip(checkpoint.events_processed)
+        # The restore replaced the ordering buffer and the engine state;
+        # decision hooks are process-local and must be re-attached.
+        self._attach_observers()
 
-    def _write_checkpoint(self) -> None:
+    def _write_checkpoint(self, reason: str = "periodic") -> None:
         if self._store is None:
             return
         started = self._clock()
@@ -382,6 +526,7 @@ class StreamingPipeline:
             pattern_name=getattr(self._backend.pattern, "name", ""),
             records_ingested=self._records_ingested_total,
             ordering_blob=ordering_blob,
+            reason=reason,
         )
         use_delta = (
             self._checkpoint_mode == "delta"
@@ -420,12 +565,34 @@ class StreamingPipeline:
             self._delta_epoch = epoch
             self._epoch_seq = epoch
         self._events_at_last_checkpoint = self._events_processed_total
-        self.metrics.checkpoint.observe(self._clock() - started)
+        pause = self._clock() - started
+        self.metrics.checkpoint.observe(pause)
         self.metrics.checkpoints_written += 1
+        size = 0
         try:
-            self.metrics.observe_checkpoint_bytes(os.path.getsize(path))
+            size = os.path.getsize(path)
+            self.metrics.observe_checkpoint_bytes(size)
         except OSError:  # pragma: no cover - racing an external prune
             pass
+        if self.tracer is not None:
+            # The same measured pause StageTiming observed, so span totals
+            # and the checkpoint StageTiming reconcile exactly.
+            self.tracer.record("checkpoint", pause, kind="delta" if use_delta else "full")
+        if self.decision_log is not None:
+            detail = dict(
+                kind="delta" if use_delta else "full",
+                reason=reason,
+                bytes=size,
+                pause_ms=pause * 1e3,
+                epoch=self._epoch_seq if self._checkpoint_mode == "delta" else None,
+                events_processed=self._events_processed_total,
+                matches_emitted=self._matches_emitted_total,
+            )
+            if self._checkpoint_mode == "delta":
+                # Whether the tracker actually delivered a delta or silently
+                # degraded to a self-contained base frame.
+                detail.update(tracker_degradation(self._backend.engine))
+            self.decision_log.record("checkpoint_cut", **detail)
 
     # ------------------------------------------------------------------
     # Ingestion (shared by the pull loop and push-style submit)
@@ -595,11 +762,13 @@ class StreamingPipeline:
             if resume and self._store is not None:
                 checkpoint = self._store.latest()
                 if checkpoint is not None:
+                    self._state = "restoring"
                     self._restore_from(checkpoint)
                     resumed_from = checkpoint.events_processed
             for sink in self._sinks:
                 sink.open()
             self._backend.start()
+            self._state = "running"
             if self._ordering is not None:
                 # A restored reorder buffer re-seeds the backend's
                 # event-time clock before any new arrival advances it.
@@ -620,6 +789,13 @@ class StreamingPipeline:
                 if max_events is not None and processed_this_run >= max_events:
                     stop_reason = "max-events"
                     break
+                # Manual checkpoint requests (control plane) are serviced at
+                # the batch boundary — the same consistent cut point a
+                # cadence-triggered checkpoint uses.
+                if self._manual_requests:
+                    self._service_manual_checkpoints()
+                if self.tracer is not None:
+                    self.tracer.new_trace()
 
                 # Fill phase: stage a chunk of events from the source.  The
                 # buffer bounds how far the source can run ahead of the
@@ -633,6 +809,7 @@ class StreamingPipeline:
                     )
                 if budget > 0 and not exhausted:
                     fill_started = self._clock()
+                    pulled = 0
                     for _ in range(budget):
                         # Honour stop() mid-fill: a rate-limited source paces
                         # every pull, so finishing the chunk could stall the
@@ -645,8 +822,22 @@ class StreamingPipeline:
                             exhausted = True
                             break
                         self._ingest(event)
-                    self.metrics.source.observe(self._clock() - fill_started)
+                        pulled += 1
+                    fill_elapsed = self._clock() - fill_started
+                    self.metrics.source.observe(fill_elapsed)
                     self.metrics.observe_queue_depth(self._buffer.depth)
+                    if self.tracer is not None:
+                        # Same elapsed as the source StageTiming observed,
+                        # so span totals reconcile with the aggregate.
+                        self.tracer.record("source", fill_elapsed, events=pulled)
+                        if self._ordering is not None:
+                            self.tracer.record(
+                                "reorder",
+                                0.0,
+                                events=self._buffer.depth,
+                                depth=self._ordering.depth,
+                                watermark=self._ordering.watermark,
+                            )
 
                 if len(self._buffer) == 0:
                     if exhausted:
@@ -658,6 +849,10 @@ class StreamingPipeline:
                     continue
 
                 # Drain phase: feed the staged events to the engine.
+                if self.tracer is not None:
+                    engine_before = self.metrics.engine.total_seconds
+                    sink_before = self.metrics.sink.total_seconds
+                    drained_before = processed_this_run
                 while (
                     len(self._buffer) > 0
                     and not self._stop_requested
@@ -665,6 +860,19 @@ class StreamingPipeline:
                 ):
                     self._process_one(self._buffer.pop())
                     processed_this_run += 1
+                if self.tracer is not None:
+                    # Batch-granularity engine/sink spans carrying exactly
+                    # the time the StageTimings accumulated over this drain.
+                    self.tracer.record(
+                        "engine",
+                        self.metrics.engine.total_seconds - engine_before,
+                        events=processed_this_run - drained_before,
+                    )
+                    self.tracer.record(
+                        "sink",
+                        self.metrics.sink.total_seconds - sink_before,
+                        events=processed_this_run - drained_before,
+                    )
 
             # Barrier: with a worker backend, matches for the last submitted
             # events may still be in flight — wait for them and deliver.
@@ -672,7 +880,7 @@ class StreamingPipeline:
             duration = self._clock() - started
             if final_checkpoint and self._store is not None:
                 if self._events_processed_total > self._events_at_last_checkpoint:
-                    self._write_checkpoint()
+                    self._write_checkpoint(reason="shutdown")
             for sink in self._sinks:
                 sink.flush()
             # Stop the workers before reading plan history: the process
@@ -696,9 +904,31 @@ class StreamingPipeline:
             )
         finally:
             self._running = False
+            self._state = "stopped"
             self._backend.close()
             for sink in self._sinks:
                 sink.close()
+            # Emit the final partial shed/late bursts and unblock any HTTP
+            # thread still waiting on a manual cut the loop will never
+            # service (the run is over; the final checkpoint covered it).
+            if self._shed_emitter is not None:
+                self._shed_emitter.flush()
+            if self._late_emitter is not None:
+                self._late_emitter.flush()
+            while self._manual_requests:
+                self._manual_requests.popleft().set()
+
+    def _service_manual_checkpoints(self) -> None:
+        """Perform one cut for every pending ``request_checkpoint`` call."""
+        pending: List[threading.Event] = []
+        while self._manual_requests:
+            pending.append(self._manual_requests.popleft())
+        if not pending:
+            return
+        # One cut satisfies every request queued up to this boundary.
+        self._write_checkpoint(reason="manual")
+        for done in pending:
+            done.set()
 
     def __repr__(self) -> str:
         return (
