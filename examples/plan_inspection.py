@@ -8,7 +8,10 @@ engine — useful for understanding the paper's method without any streaming:
 2. show the deciding-condition sets recorded for every building block;
 3. build the invariant list (basic and K-invariant variants) and show which
    statistic changes do and do not trigger reoptimization;
-4. show the davg heuristic's distance estimate for the plan.
+4. show the davg heuristic's distance estimate for the plan;
+5. run the pattern with ``introspect=True`` and print what the engine
+   *measured*: live operator stats (condition timings, edge accept/reject
+   counts, partial-match populations) and the cost-model drift table.
 
 Run with::
 
@@ -16,6 +19,8 @@ Run with::
 """
 
 from __future__ import annotations
+
+import random
 
 from repro import (
     EqualityCondition,
@@ -27,6 +32,9 @@ from repro import (
     average_relative_difference,
     build_invariant_set,
 )
+from repro.adaptive import InvariantBasedPolicy
+from repro.engine import AdaptiveCEPEngine
+from repro.events import Event
 
 
 def build_pattern():
@@ -56,6 +64,80 @@ def show_planner(name, result):
         for condition in condition_set:
             print(f"    {condition.describe()}")
     print()
+
+
+def make_stream(count=600, seed=7, persons=5):
+    """A deterministic random stream over the camera types, biased towards A."""
+    a, b, c = EventType("A"), EventType("B"), EventType("C")
+    rng = random.Random(seed)
+    events = []
+    t = 0.0
+    for _ in range(count):
+        t += rng.uniform(0.05, 0.2)
+        roll = rng.random()
+        event_type = a if roll < 0.6 else (b if roll < 0.85 else c)
+        events.append(Event(event_type, t, {"person_id": rng.randint(0, persons - 1)}))
+    return events
+
+
+def show_introspection(pattern, snapshot) -> None:
+    engine = AdaptiveCEPEngine(
+        pattern,
+        GreedyOrderPlanner(),
+        InvariantBasedPolicy(distance=0.1),
+        initial_snapshot=snapshot,
+        monitoring_interval=5.0,
+        introspect=True,
+    )
+    result = engine.run(make_stream())
+    frame = engine.introspection()
+    print(f"ran {result.metrics.events_processed} events, {result.match_count} matches")
+    print(f"active plan: {frame['plan']}")
+    print()
+
+    print("conditions ranked by measured wall time:")
+    for data in sorted(
+        frame["profile"]["conditions"].values(),
+        key=lambda d: d["seconds"],
+        reverse=True,
+    ):
+        print(
+            f"  {data['label']:<28} calls={data['calls']:>6,}"
+            f"  pass_rate={data['pass_rate']:>6.1%}"
+            f"  total={data['seconds'] * 1e3:7.3f} ms"
+        )
+    print()
+
+    print("per-operator accept/reject counts:")
+    for label, data in sorted(frame["profile"]["edges"].items()):
+        attempts = data["accepted"] + data["rejected"]
+        print(
+            f"  {label:<12} attempts={attempts:>6,}"
+            f"  accepted={data['accepted']:>6,}"
+            f"  accept_rate={data['accept_rate']:>6.1%}"
+        )
+    print()
+
+    pm = frame["partial_matches"]
+    print(
+        f"partial matches: live={pm['live']}, high_water={pm['high_water']}, "
+        f"per_state={pm['per_state']}"
+    )
+    print()
+
+    drift = frame["drift"]
+    print(
+        "cost-model drift (planned with the paper's statistics, "
+        "measured from the stream):"
+    )
+    print(f"  predicted plan cost: {drift['predicted_cost']:,.1f}")
+    for row in drift["pairs"]:
+        print(
+            f"  sel({row['pair']}): predicted={row['predicted']:.3f}"
+            f"  observed={row['observed']:.3f}"
+            f"  ratio={row['ratio']:.2f}  drift={row['drift']:.2f}"
+        )
+    print(f"  worst drift ratio: {drift['max_drift']:.2f}")
 
 
 def main() -> None:
@@ -102,6 +184,10 @@ def main() -> None:
             print(f"  {label}: VIOLATED {violated.describe()} -> regenerate the plan")
             regenerated = GreedyOrderPlanner().generate(pattern, current)
             print(f"      new plan would be {regenerated.plan.describe()}")
+    print()
+
+    print("--- live run with introspect=True: measured vs predicted ---")
+    show_introspection(pattern, snapshot)
 
 
 if __name__ == "__main__":

@@ -29,13 +29,23 @@ from repro.statistics import StatisticsSnapshot
 
 @dataclass
 class AdaptationRecord:
-    """One entry in the adaptation log: a plan replacement."""
+    """One entry in the adaptation log: a plan replacement.
+
+    ``trigger_distance`` and ``drift`` carry the quantitative context of a
+    replacement — how far past the invariant boundary the statistics moved
+    (:attr:`InvariantBasedPolicy.current_distance`) and the worst-drifting
+    predicted-vs-observed selectivity pairs of the plan being retired (from
+    the attached :class:`~repro.obs.introspect.DriftMonitor`).  Both are
+    ``None`` when their source is not configured.
+    """
 
     time: float
     reason: str
     previous_cost: float
     new_cost: float
     plan_description: str
+    trigger_distance: Optional[float] = None
+    drift: Optional[List[dict]] = None
 
 
 @dataclass
@@ -95,6 +105,11 @@ class AdaptationController:
         #: pickled state (controllers travel inside engine snapshots and
         #: to worker processes) and re-attached by the pipeline.
         self.decision_sink = None
+        #: Optional :class:`~repro.obs.introspect.DriftMonitor` whose
+        #: predicted-vs-observed drift table is attached to replacement
+        #: records (set by :class:`~repro.engine.AdaptiveCEPEngine` when
+        #: introspection is enabled).  Plain data — travels in snapshots.
+        self.drift_monitor = None
         if initial_snapshot is not None:
             self._install_initial_plan(initial_snapshot)
 
@@ -107,6 +122,7 @@ class AdaptationController:
         self.__dict__.update(state)
         # Snapshots from builds that predate the sink lack the key.
         self.__dict__.setdefault("decision_sink", None)
+        self.__dict__.setdefault("drift_monitor", None)
 
     def _notify_replacement(self, record: AdaptationRecord) -> None:
         sink = getattr(self, "decision_sink", None)
@@ -203,6 +219,14 @@ class AdaptationController:
             # not oscillate with every monitoring period.
             return None
 
+        # Capture the replacement's motivation before installing the new
+        # plan: the distance is the policy's view of the *old* invariants,
+        # and the drift table must compare against the *old* plan's
+        # predictions — after installation both describe the new plan.
+        trigger_distance = getattr(self._policy, "current_distance", None)
+        monitor = getattr(self, "drift_monitor", None)
+        drift = monitor.top_drifts(snapshot) if monitor is not None else None
+
         if isinstance(self._policy, InvariantBasedPolicy):
             self._policy.observe_adaptation(current_cost, new_cost)
         self._current_result = new_result
@@ -214,6 +238,8 @@ class AdaptationController:
             previous_cost=current_cost,
             new_cost=new_cost,
             plan_description=new_result.plan.describe(),
+            trigger_distance=trigger_distance,
+            drift=drift,
         )
         self.statistics.replacements.append(record)
         self._notify_replacement(record)

@@ -63,15 +63,30 @@ class EvaluationEngine:
         When set (on a *draining* engine), matches whose events all arrived
         at or after this time are suppressed — they are the new engine's
         responsibility.
+    profiler:
+        Optional :class:`~repro.obs.introspect.EngineProfiler`.  When set,
+        the engine's working condition set is an instrumented copy built
+        once here (plan-build time) and the hot-path hooks record edge
+        outcomes and population samples.  When ``None`` the working set
+        *is* ``pattern.conditions`` — the disabled path evaluates the
+        original objects with no wrapper and no profiling branch inside
+        condition evaluation.
     """
 
     def __init__(
         self,
         pattern: Pattern,
         collector: Optional[StatisticsCollector] = None,
+        profiler=None,
     ):
         self.pattern = pattern
         self.collector = collector
+        self.profiler = profiler
+        if profiler is None:
+            self._conditions = pattern.conditions
+        else:
+            self._conditions = profiler.instrument_conditions(pattern.conditions)
+            profiler.plans_instrumented += 1
         self.counters = EngineCounters()
         self.suppress_all_new_after: Optional[float] = None
         self._negated_buffers: Dict[str, List[Event]] = {
@@ -92,6 +107,10 @@ class EvaluationEngine:
     def partial_match_count(self) -> int:
         """Number of partial matches currently stored (memory pressure proxy)."""
         raise NotImplementedError
+
+    def state_occupancy(self) -> Dict[str, int]:
+        """Partial matches held per operator state (NFA state / tree node)."""
+        return {}
 
     def expire(self, now: float) -> None:
         """Drop buffered state that can no longer contribute to a match."""

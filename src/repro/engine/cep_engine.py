@@ -48,13 +48,15 @@ from repro.statistics import (
 
 
 def engine_for_plan(
-    plan: EvaluationPlan, collector: Optional[StatisticsCollector] = None
+    plan: EvaluationPlan,
+    collector: Optional[StatisticsCollector] = None,
+    profiler=None,
 ) -> EvaluationEngine:
     """Instantiate the runtime engine matching a plan's family."""
     if isinstance(plan, OrderBasedPlan):
-        return LazyNFAEngine(plan, collector)
+        return LazyNFAEngine(plan, collector, profiler=profiler)
     if isinstance(plan, TreeBasedPlan):
-        return TreeEvaluationEngine(plan, collector)
+        return TreeEvaluationEngine(plan, collector, profiler=profiler)
     raise EngineError(f"no runtime engine available for plan type {type(plan).__name__}")
 
 
@@ -96,6 +98,13 @@ class AdaptiveCEPEngine:
     statistics_window:
         Sliding-window length of the internal collector (defaults to four
         pattern windows).
+    introspect:
+        Opt into engine introspection (:mod:`repro.obs.introspect`): a
+        shared :class:`~repro.obs.introspect.EngineProfiler` instruments
+        every evaluation engine this facade builds, and a
+        :class:`~repro.obs.introspect.DriftMonitor` tracks the installed
+        plan's predicted cost/selectivities against observed statistics.
+        Off by default — disabled engines are built exactly as before.
     """
 
     def __init__(
@@ -107,6 +116,7 @@ class AdaptiveCEPEngine:
         initial_snapshot: Optional[StatisticsSnapshot] = None,
         monitoring_interval: float = 1.0,
         statistics_window: Optional[float] = None,
+        introspect: bool = False,
     ):
         if monitoring_interval <= 0:
             raise EngineError("monitoring_interval must be positive")
@@ -122,12 +132,27 @@ class AdaptiveCEPEngine:
         )
         self._collector.register_pattern(pattern)
 
+        self._profiler = None
+        self._drift = None
+        if introspect:
+            # Imported lazily: repro.obs must stay optional for the core
+            # engine layer, and repro.obs.introspect imports conditions.
+            from repro.obs.introspect import DriftMonitor, EngineProfiler
+
+            self._profiler = EngineProfiler()
+            self._drift = DriftMonitor()
+
         if initial_snapshot is None:
             initial_snapshot = self._uniform_snapshot()
         self.controller = AdaptationController(
             pattern, planner, policy, initial_snapshot
         )
-        initial_engine = engine_for_plan(self.controller.current_plan, self._collector)
+        self.controller.drift_monitor = self._drift
+        if self._drift is not None:
+            self._drift.record_plan(self.controller.current_result, pattern)
+        initial_engine = engine_for_plan(
+            self.controller.current_plan, self._collector, profiler=self._profiler
+        )
         self._migration = PlanMigrationManager(initial_engine, window=window)
         self._next_monitor_time: Optional[float] = None
         self._plan_history: List[str] = [self.controller.current_plan.describe()]
@@ -154,6 +179,53 @@ class AdaptiveCEPEngine:
     def reoptimization_count(self) -> int:
         """Number of actual plan replacements performed so far."""
         return self._migration.switches_performed
+
+    def partial_match_count(self) -> int:
+        """Live partial matches across the active and draining engines."""
+        return self._migration.partial_match_count()
+
+    @property
+    def profiler(self):
+        """The shared :class:`EngineProfiler`, or ``None`` when disabled."""
+        return self._profiler
+
+    @property
+    def drift_monitor(self):
+        """The :class:`DriftMonitor`, or ``None`` when disabled."""
+        return self._drift
+
+    def introspection(self) -> dict:
+        """One frame of engine internals (plan, populations, profile, drift).
+
+        Always available; the ``profile`` and ``drift`` sections are
+        present only when the engine was built with ``introspect=True``.
+        """
+        active = self._migration.active_engine
+        frame: dict = {
+            "pattern": self.pattern.name,
+            "plan": self.controller.current_plan.describe(),
+            "reoptimizations": self.reoptimization_count(),
+            "counters": vars(self._migration.total_counters()).copy(),
+            "partial_matches": {
+                "live": self._migration.partial_match_count(),
+                "per_state": active.state_occupancy(),
+                "high_water": (
+                    self._profiler.partial_matches_high_water
+                    if self._profiler is not None
+                    else 0
+                ),
+            },
+        }
+        if self._profiler is not None:
+            frame["profile"] = self._profiler.frame()
+        if self._drift is not None:
+            observed = (
+                self._collector.snapshot()
+                if self._drift.observed_snapshot is None
+                else None
+            )
+            frame["drift"] = self._drift.summary(observed)
+        return frame
 
     def _uniform_snapshot(self) -> StatisticsSnapshot:
         rates = {item.event_type.name: 1.0 for item in self.pattern.items}
@@ -235,11 +307,17 @@ class AdaptiveCEPEngine:
             snapshot = self._provider.snapshot(now)
         else:
             snapshot = self._collector.snapshot(now)
+        if self._drift is not None:
+            self._drift.observe(snapshot)
         new_plan = self.controller.update(snapshot)
         if new_plan is not None:
-            new_engine = engine_for_plan(new_plan, self._collector)
+            new_engine = engine_for_plan(
+                new_plan, self._collector, profiler=self._profiler
+            )
             self._migration.switch_to(new_engine, switch_time=now)
             self._plan_history.append(new_plan.describe())
+            if self._drift is not None:
+                self._drift.record_plan(self.controller.current_result, self.pattern)
 
     # ------------------------------------------------------------------
     # Whole-stream API

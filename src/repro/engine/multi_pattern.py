@@ -37,7 +37,7 @@ class MultiPatternEngine:
     policy_factory:
         Callable producing a fresh decision policy per sub-pattern
         (policies are stateful: each sub-pattern needs its own).
-    statistics_provider / initial_snapshot / monitoring_interval:
+    statistics_provider / initial_snapshot / monitoring_interval / introspect:
         Forwarded to every sub-engine.
     """
 
@@ -49,6 +49,7 @@ class MultiPatternEngine:
         statistics_provider: Optional[StatisticsProvider] = None,
         initial_snapshot: Optional[StatisticsSnapshot] = None,
         monitoring_interval: float = 1.0,
+        introspect: bool = False,
     ):
         if not isinstance(pattern, CompositePattern):
             raise EngineError("MultiPatternEngine requires a CompositePattern")
@@ -63,6 +64,7 @@ class MultiPatternEngine:
                     statistics_provider=statistics_provider,
                     initial_snapshot=_restrict_snapshot(initial_snapshot, subpattern),
                     monitoring_interval=monitoring_interval,
+                    introspect=introspect,
                 )
             )
 
@@ -72,6 +74,29 @@ class MultiPatternEngine:
 
     def reoptimization_count(self) -> int:
         return sum(engine.reoptimization_count() for engine in self._engines)
+
+    def partial_match_count(self) -> int:
+        return sum(engine.partial_match_count() for engine in self._engines)
+
+    def introspection(self) -> dict:
+        """Per-sub-pattern introspection frames plus composite totals."""
+        frames = {
+            engine.pattern.name: engine.introspection() for engine in self._engines
+        }
+        return {
+            "pattern": self.pattern.name,
+            "reoptimizations": self.reoptimization_count(),
+            "partial_matches": {
+                "live": sum(
+                    frame["partial_matches"]["live"] for frame in frames.values()
+                ),
+                "high_water": max(
+                    (frame["partial_matches"]["high_water"] for frame in frames.values()),
+                    default=0,
+                ),
+            },
+            "patterns": frames,
+        }
 
     # ------------------------------------------------------------------
     # State snapshot / restore (checkpointing support)

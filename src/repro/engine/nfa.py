@@ -53,10 +53,11 @@ class LazyNFAEngine(EvaluationEngine):
         plan: OrderBasedPlan,
         collector: Optional[StatisticsCollector] = None,
         expiry_interval_fraction: float = 0.25,
+        profiler=None,
     ):
         if not isinstance(plan, OrderBasedPlan):
             raise EngineError("LazyNFAEngine requires an OrderBasedPlan")
-        super().__init__(plan.pattern, collector)
+        super().__init__(plan.pattern, collector, profiler)
         self.plan = plan
         self._order = plan.order
         self._depth = len(self._order)
@@ -79,6 +80,11 @@ class LazyNFAEngine(EvaluationEngine):
     # ------------------------------------------------------------------
     def partial_match_count(self) -> int:
         return sum(len(pms) for pms in self._waiting.values())
+
+    def state_occupancy(self) -> Dict[str, int]:
+        return {
+            variable: len(pms) for variable, pms in self._waiting.items() if pms
+        }
 
     def buffered_event_count(self) -> int:
         """Number of events currently buffered across all positive variables."""
@@ -117,6 +123,9 @@ class LazyNFAEngine(EvaluationEngine):
 
         completed = self._extend_from_buffers(new_matches, event, now)
 
+        if self.profiler is not None:
+            self.profiler.observe_population(self.partial_match_count())
+
         matches: List[Match] = []
         for partial in completed:
             match = self._finalize(partial, now)
@@ -131,7 +140,13 @@ class LazyNFAEngine(EvaluationEngine):
         """Buffer the event under every positive variable it can serve."""
         accepted: List[str] = []
         for variable in self._type_to_variables.get(event.type_name, ()):
-            if local_conditions_hold(self.pattern, variable, event, self.collector):
+            held = local_conditions_hold(
+                self.pattern, variable, event, self.collector,
+                conditions=self._conditions,
+            )
+            if self.profiler is not None:
+                self.profiler.record_edge(f"buffer[{variable}]", held)
+            if held:
                 self._buffers[variable].append(event)
                 accepted.append(variable)
         return accepted
@@ -181,18 +196,21 @@ class LazyNFAEngine(EvaluationEngine):
     ) -> Optional[PartialMatch]:
         """Attempt to bind ``event`` as ``variable`` in ``partial``."""
         self.counters.extension_attempts += 1
-        if partial.contains_event(event):
-            return None
-        if not window_respected(partial.bindings, event, self.pattern.window):
-            return None
-        if not sequence_order_respected(self.pattern, partial.bindings, variable, event):
-            return None
-        if not evaluate_new_conditions(
-            self.pattern, partial.bindings, variable, event, self.collector, now
+        candidate: Optional[PartialMatch] = None
+        if (
+            not partial.contains_event(event)
+            and window_respected(partial.bindings, event, self.pattern.window)
+            and sequence_order_respected(self.pattern, partial.bindings, variable, event)
+            and evaluate_new_conditions(
+                self.pattern, partial.bindings, variable, event, self.collector, now,
+                conditions=self._conditions,
+            )
         ):
-            return None
-        self.counters.partial_matches_created += 1
-        return partial.extended(variable, event)
+            self.counters.partial_matches_created += 1
+            candidate = partial.extended(variable, event)
+        if self.profiler is not None:
+            self.profiler.record_edge(f"extend[{variable}]", candidate is not None)
+        return candidate
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -52,10 +52,11 @@ class TreeEvaluationEngine(EvaluationEngine):
         plan: TreeBasedPlan,
         collector: Optional[StatisticsCollector] = None,
         expiry_interval_fraction: float = 0.25,
+        profiler=None,
     ):
         if not isinstance(plan, TreeBasedPlan):
             raise EngineError("TreeEvaluationEngine requires a TreeBasedPlan")
-        super().__init__(plan.pattern, collector)
+        super().__init__(plan.pattern, collector, profiler)
         self.plan = plan
         self._stores: Dict[int, _NodeStore] = {}
         self._leaf_by_type: Dict[str, List[TreeLeaf]] = {}
@@ -85,6 +86,13 @@ class TreeEvaluationEngine(EvaluationEngine):
     def partial_match_count(self) -> int:
         return sum(len(store.matches) for store in self._stores.values())
 
+    def state_occupancy(self) -> Dict[str, int]:
+        return {
+            ",".join(variables): count
+            for variables, count in self.stored_match_counts().items()
+            if count
+        }
+
     def expire(self, now: float) -> None:
         window = self.pattern.window
         if window == float("inf"):
@@ -108,11 +116,19 @@ class TreeEvaluationEngine(EvaluationEngine):
 
         matches: List[Match] = []
         for leaf in self._leaf_by_type.get(event.type_name, ()):
-            if not local_conditions_hold(self.pattern, leaf.variable, event, self.collector):
+            held = local_conditions_hold(
+                self.pattern, leaf.variable, event, self.collector,
+                conditions=self._conditions,
+            )
+            if self.profiler is not None:
+                self.profiler.record_edge(f"leaf[{leaf.variable}]", held)
+            if not held:
                 continue
             leaf_match = PartialMatch({leaf.variable: event})
             self.counters.partial_matches_created += 1
             matches.extend(self._store_and_propagate(leaf, leaf_match, now))
+        if self.profiler is not None:
+            self.profiler.observe_population(self.partial_match_count())
         return matches
 
     # ------------------------------------------------------------------
@@ -135,8 +151,14 @@ class TreeEvaluationEngine(EvaluationEngine):
         store.matches.append(partial)
         sibling_store = self._stores[id(store.sibling)]
         parent_node = store.parent
+        profiler = self.profiler
         for sibling_match in sibling_store.matches:
             joined = self._try_join(partial, sibling_match, now)
+            if profiler is not None:
+                profiler.record_edge(
+                    "join[" + ",".join(parent_node.variables()) + "]",
+                    joined is not None,
+                )
             if joined is not None:
                 emitted.extend(self._store_and_propagate(parent_node, joined, now))
         return emitted
@@ -161,7 +183,8 @@ class TreeEvaluationEngine(EvaluationEngine):
         if not groups_order_respected(self.pattern, left.bindings, right.bindings):
             return None
         if not evaluate_join_conditions(
-            self.pattern, left.bindings, right.bindings, self.collector, now
+            self.pattern, left.bindings, right.bindings, self.collector, now,
+            conditions=self._conditions,
         ):
             return None
         self.counters.partial_matches_created += 1

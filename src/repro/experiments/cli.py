@@ -22,6 +22,11 @@ and run the engine as a continuously-ingesting service::
     python -m repro.experiments.cli stream-bench --rates 0 \
         --shuffle-slack 2 --max-lateness 2 --late-policy drop
 
+look inside the engine (operator profiling, cost-model drift)::
+
+    python -m repro.experiments.cli profile --dataset stocks --top 10
+    python -m repro.experiments.cli profile --overhead --trials 3 --enforce
+
 Each sub-command prints the same plain-text tables the benchmark suite
 reports and optionally writes them as CSV.
 """
@@ -46,6 +51,15 @@ from repro.experiments.distance_estimation import distance_estimation_table
 from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, find_optimal_distance
 from repro.experiments.method_comparison import DEFAULT_METHODS, RECOMMENDED_DISTANCE, compare_methods
 from repro.experiments.parallel_scaling import parallel_speedup_rows
+from repro.experiments.profile_bench import (
+    DEFAULT_TRIALS,
+    drift_rows,
+    enforce_overhead_gate,
+    hotspot_rows,
+    operator_rows,
+    overhead_rows,
+    profile_run,
+)
 from repro.experiments.reporting import format_table, pivot, rows_to_csv
 from repro.experiments.runner import build_dataset, build_workload
 from repro.experiments.streaming_rate import (
@@ -119,6 +133,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         executor=args.executor,
         backend=getattr(args, "backend", "inline"),
         workers=getattr(args, "workers", 0) or 0,
+        introspect=getattr(args, "introspect", False),
     )
 
 
@@ -202,6 +217,13 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         type=str,
         default="127.0.0.1",
         help="bind address for --control-port",
+    )
+    parser.add_argument(
+        "--introspect",
+        action="store_true",
+        help="build the engine with introspection on: per-condition timing, "
+        "operator accept/reject counts and cost-model drift gauges, served "
+        "live through /engine and /metrics (small per-evaluation overhead)",
     )
     parser.add_argument(
         "--decision-log",
@@ -420,6 +442,7 @@ def _run_serve(args: argparse.Namespace) -> int:
     if args.control_port is not None:
         registry = MetricsRegistry()
         registry.register_pipeline(pipeline.metrics)
+        registry.register_engine_introspection(pipeline.engine_introspection)
         control = ControlPlane(
             pipeline=pipeline,
             registry=registry,
@@ -653,6 +676,76 @@ def _run_checkpoint_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_profile(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    if args.overhead:
+        rows, enabled_overhead = overhead_rows(
+            config, size=int(args.size), trials=args.trials
+        )
+        print(
+            format_table(
+                rows,
+                ["mode", "trials", "median_s", "min_s", "throughput", "matches"],
+                title=(
+                    f"{config.dataset}/{config.algorithm}: instrumentation "
+                    f"off vs on, interleaved ({args.trials} trials per mode)"
+                ),
+            )
+        )
+        print(f"enabled-profiler overhead: {enabled_overhead:+.1%} (median on vs off)")
+        _maybe_write_csv(rows, args.csv)
+        problems = enforce_overhead_gate(rows, enabled_overhead)
+        if problems:
+            for problem in problems:
+                print(f"overhead gate: {problem}", file=sys.stderr)
+            if args.enforce:
+                return 1
+        elif args.enforce:
+            print("overhead gate: OK — matches agree and the enabled cost is in budget")
+        return 0
+
+    frame, result = profile_run(config, size=int(args.size))
+    print(
+        f"profiled {result.events_processed} events, "
+        f"{result.matches_emitted} matches, plan: {frame.get('plan')}"
+    )
+    hotspots = hotspot_rows(frame, top=args.top)
+    print(
+        format_table(
+            hotspots,
+            ["condition", "calls", "pass_rate", "ms_total", "us_per_call", "share"],
+            title=f"top {len(hotspots)} conditions by cumulative wall time",
+        )
+    )
+    print(
+        format_table(
+            operator_rows(frame),
+            ["operator", "attempts", "accepted", "rejected", "accept_rate"],
+            title="operator accept/reject counts (NFA edges / tree nodes)",
+        )
+    )
+    matches = frame.get("partial_matches") or {}
+    print(
+        f"partial matches: live={matches.get('live', 0)}, "
+        f"high_water={matches.get('high_water', 0)}, "
+        f"per_state={matches.get('per_state', {})}"
+    )
+    drift = frame.get("drift") or {}
+    print(
+        format_table(
+            drift_rows(frame),
+            ["pair", "predicted", "observed", "ratio", "drift"],
+            title=(
+                f"cost-model drift (predicted cost "
+                f"{drift.get('predicted_cost', 0.0):,.1f}, "
+                f"max drift {drift.get('max_drift', 1.0):.3f})"
+            ),
+        )
+    )
+    _maybe_write_csv(hotspots, args.csv)
+    return 0
+
+
 def _run_ablation_k(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     rows = k_invariant_ablation(config, k_values=(1, 2, 4, 0))
@@ -874,6 +967,42 @@ def build_parser() -> argparse.ArgumentParser:
         "regression gate)",
     )
     checkpoint_bench.set_defaults(handler=_run_checkpoint_bench)
+
+    profile = subparsers.add_parser(
+        "profile",
+        help="operator-level engine profiling report (or, with --overhead, "
+        "the interleaved instrumentation-cost A/B bench)",
+    )
+    _add_common_options(profile)
+    profile.add_argument(
+        "--size", type=int, default=3, help="pattern size for the profiled pattern"
+    )
+    profile.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="conditions shown in the hotspot table (ranked by wall time)",
+    )
+    profile.add_argument(
+        "--overhead",
+        action="store_true",
+        help="instead of the report: time instrumentation-off vs -on runs "
+        "interleaved over the same replay and print the overhead",
+    )
+    profile.add_argument(
+        "--trials",
+        type=int,
+        default=DEFAULT_TRIALS,
+        help="with --overhead: measured trials per mode (plus one warmup)",
+    )
+    profile.add_argument(
+        "--enforce",
+        action="store_true",
+        help="with --overhead: exit non-zero unless matches agree across "
+        "modes and the enabled profiler stays within its overhead budget "
+        "(the CI gate)",
+    )
+    profile.set_defaults(handler=_run_profile)
 
     ablation_k = subparsers.add_parser("ablation-k", help="K-invariant ablation")
     _add_common_options(ablation_k)

@@ -73,6 +73,7 @@ class ExperimentConfig:
     executor: str = "serial"
     backend: str = "inline"
     workers: int = 0
+    introspect: bool = False
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("greedy", "zstream"):

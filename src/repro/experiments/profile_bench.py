@@ -1,0 +1,234 @@
+"""Engine-profiling reports and the instrumentation-overhead bench.
+
+Two drivers for the introspection layer (:mod:`repro.obs.introspect`):
+
+* :func:`profile_run` replays one recorded workload through a pipeline
+  whose engine was built with ``introspect=True`` and returns the
+  resulting introspection frame — the hotspot report (conditions ranked
+  by cumulative wall time), the per-operator accept/reject table, the
+  partial-match population gauges and the cost-model drift table.
+* :func:`overhead_rows` measures what the *disabled* feature costs: it
+  replays the same events with instrumentation off and on in interleaved
+  trials (off, on, off, on, ... — so slow machine-load drift hits both
+  modes equally) and reports each mode's median wall time.  The
+  off-mode number is the one the regression gate watches: with no
+  profiler attached the engines must build the same object graph as
+  before the feature existed.
+
+Both replay identical events, so the ``matches`` columns double as a
+correctness check, like every other sweep in this package.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine import AdaptiveCEPEngine
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import (
+    build_dataset,
+    build_planner,
+    build_policy,
+    build_workload,
+)
+from repro.streaming import CollectorSink, ReplaySource, StreamingPipeline
+
+#: Interleaved A/B trials per mode (each preceded by one shared warmup).
+DEFAULT_TRIALS = 3
+
+#: Overhead fraction the *enabled* profiler may cost before the gate
+#: complains.  Deliberately generous — wrapping every condition evaluation
+#: in a perf_counter pair has a real price; the gate exists to catch an
+#: accidental hot-path regression, not to promise free profiling.
+ENABLED_OVERHEAD_LIMIT = 0.5
+
+
+def _default_spec() -> PolicySpec:
+    return PolicySpec("invariant", distance=0.1, label="invariant")
+
+
+def _prepare(config: ExperimentConfig, size: int):
+    """The (pattern, recorded events) pair every run replays."""
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    pattern = workload.sequence_pattern(size)
+    stream = dataset.generate(
+        duration=config.duration,
+        seed=config.stream_seed,
+        max_events=config.max_events,
+    )
+    return pattern, stream.to_list()
+
+
+def _build_engine(
+    config: ExperimentConfig, pattern, spec: PolicySpec, introspect: bool
+) -> AdaptiveCEPEngine:
+    return AdaptiveCEPEngine(
+        pattern,
+        build_planner(config.algorithm),
+        build_policy(spec),
+        monitoring_interval=config.monitoring_interval,
+        introspect=introspect,
+    )
+
+
+def _run_once(
+    config: ExperimentConfig, pattern, events, spec: PolicySpec, introspect: bool
+):
+    """One pipeline run; returns ``(pipeline, result, matches, seconds)``."""
+    engine = _build_engine(config, pattern, spec, introspect)
+    collector = CollectorSink()
+    pipeline = StreamingPipeline(
+        engine,
+        ReplaySource(events),
+        sinks=[collector],
+        buffer_capacity=max(config.batch_size, 1),
+    )
+    started = time.perf_counter()
+    result = pipeline.run(resume=False)
+    seconds = time.perf_counter() - started
+    return pipeline, result, len(collector.matches), seconds
+
+
+def profile_run(
+    config: ExperimentConfig,
+    size: int = 3,
+    policy_spec: Optional[PolicySpec] = None,
+):
+    """Replay the workload with introspection on; return ``(frame, result)``.
+
+    ``frame`` is the pipeline's merged engine-introspection frame (see
+    :meth:`StreamingPipeline.engine_introspection`).
+    """
+    spec = policy_spec or _default_spec()
+    pattern, events = _prepare(config, size)
+    pipeline, result, _, _ = _run_once(config, pattern, events, spec, True)
+    return pipeline.engine_introspection(), result
+
+
+def hotspot_rows(frame: Dict[str, Any], top: int = 10) -> List[Dict[str, Any]]:
+    """Conditions ranked by cumulative wall time (the hotspot report)."""
+    profile = frame.get("profile") or {}
+    conditions = sorted(
+        (profile.get("conditions") or {}).values(),
+        key=lambda data: data["seconds"],
+        reverse=True,
+    )
+    total = sum(data["seconds"] for data in conditions)
+    rows = []
+    for data in conditions[: max(0, int(top))]:
+        rows.append(
+            {
+                "condition": data["label"],
+                "calls": float(data["calls"]),
+                "pass_rate": data["pass_rate"],
+                "ms_total": data["seconds"] * 1e3,
+                "us_per_call": (
+                    data["seconds"] / data["calls"] * 1e6 if data["calls"] else 0.0
+                ),
+                "share": (data["seconds"] / total) if total > 0 else 0.0,
+            }
+        )
+    return rows
+
+
+def operator_rows(frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """Per-operator (NFA edge / tree node) accept/reject table."""
+    profile = frame.get("profile") or {}
+    return [
+        {
+            "operator": label,
+            "attempts": float(data["accepted"] + data["rejected"]),
+            "accepted": float(data["accepted"]),
+            "rejected": float(data["rejected"]),
+            "accept_rate": data["accept_rate"],
+        }
+        for label, data in sorted((profile.get("edges") or {}).items())
+    ]
+
+
+def drift_rows(frame: Dict[str, Any]) -> List[Dict[str, Any]]:
+    """The cost-model drift table (pairs worst-first, as the monitor ranks)."""
+    drift = frame.get("drift") or {}
+    return [
+        {
+            "pair": row["pair"],
+            "predicted": row["predicted"],
+            "observed": row["observed"],
+            "ratio": row["ratio"],
+            "drift": row["drift"],
+        }
+        for row in drift.get("pairs") or ()
+    ]
+
+
+def overhead_rows(
+    config: ExperimentConfig,
+    size: int = 3,
+    trials: int = DEFAULT_TRIALS,
+    policy_spec: Optional[PolicySpec] = None,
+) -> Tuple[List[Dict[str, Any]], float]:
+    """Interleaved instrumentation-off/on timing comparison.
+
+    Returns ``(rows, enabled_overhead)`` where ``rows`` holds one row per
+    mode (median/min wall seconds, throughput, matches) and
+    ``enabled_overhead`` is ``median(on)/median(off) - 1``.
+    """
+    if trials < 1:
+        raise ValueError("overhead bench needs at least one trial per mode")
+    spec = policy_spec or _default_spec()
+    pattern, events = _prepare(config, size)
+    # One unmeasured warmup (imports, allocator, branch caches) per mode.
+    for introspect in (False, True):
+        _run_once(config, pattern, events, spec, introspect)
+    seconds: Dict[str, List[float]] = {"off": [], "on": []}
+    matches: Dict[str, int] = {}
+    for _ in range(int(trials)):
+        for mode, introspect in (("off", False), ("on", True)):
+            _, _, match_count, elapsed = _run_once(
+                config, pattern, events, spec, introspect
+            )
+            seconds[mode].append(elapsed)
+            matches[mode] = match_count
+    medians = {mode: statistics.median(times) for mode, times in seconds.items()}
+    rows = [
+        {
+            "mode": mode,
+            "trials": float(trials),
+            "median_s": medians[mode],
+            "min_s": min(seconds[mode]),
+            "throughput": len(events) / medians[mode] if medians[mode] > 0 else 0.0,
+            "matches": float(matches[mode]),
+        }
+        for mode in ("off", "on")
+    ]
+    enabled_overhead = (
+        medians["on"] / medians["off"] - 1.0 if medians["off"] > 0 else 0.0
+    )
+    return rows, enabled_overhead
+
+
+def enforce_overhead_gate(
+    rows: List[Dict[str, Any]],
+    enabled_overhead: float,
+    enabled_limit: float = ENABLED_OVERHEAD_LIMIT,
+) -> List[str]:
+    """Problems that should fail a CI overhead run (empty = gate passed)."""
+    problems = []
+    by_mode = {row["mode"]: row for row in rows}
+    off, on = by_mode.get("off"), by_mode.get("on")
+    if off is None or on is None:
+        return ["overhead rows must contain one 'off' and one 'on' mode"]
+    if off["matches"] != on["matches"]:
+        problems.append(
+            "instrumentation changed the matches: "
+            f"off={off['matches']:g} on={on['matches']:g}"
+        )
+    if enabled_overhead > enabled_limit:
+        problems.append(
+            f"enabled-profiler overhead {enabled_overhead:.1%} exceeds the "
+            f"{enabled_limit:.0%} budget"
+        )
+    return problems

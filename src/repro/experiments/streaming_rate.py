@@ -66,6 +66,7 @@ def build_streaming_engine(
             shards=config.effective_workers,
             partitioner=build_partitioner(config.partition_by),
             monitoring_interval=config.monitoring_interval,
+            introspect=config.introspect,
         )
         return backend_by_name(config.backend, engine)
     if config.shards > 1:
@@ -76,12 +77,14 @@ def build_streaming_engine(
             shards=config.shards,
             partitioner=build_partitioner(config.partition_by),
             monitoring_interval=config.monitoring_interval,
+            introspect=config.introspect,
         )
     return AdaptiveCEPEngine(
         pattern,
         planner,
         policy,
         monitoring_interval=config.monitoring_interval,
+        introspect=config.introspect,
     )
 
 
@@ -184,6 +187,7 @@ def rate_sweep_rows(
             "shed_fraction": metrics.shed_fraction,
             "late": float(metrics.late_events),
             "watermark_lag_max": metrics.watermark_lag.max_seconds,
+            "partial_matches_high_water": float(metrics.partial_matches_high_water),
         }
         if checkpoint_every > 0:
             row["checkpoints"] = float(metrics.checkpoints_written)

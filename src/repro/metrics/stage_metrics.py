@@ -127,11 +127,20 @@ class PipelineMetrics:
     last_checkpoint_bytes: int = 0
     queue_high_water: int = 0
     reorder_depth_high_water: int = 0
+    #: High-water mark of the engine's live partial-match population —
+    #: the memory-pressure quantity the paper's cost model minimises.
+    #: Sampled at checkpoint cuts and end-of-run (never per event).
+    partial_matches_high_water: int = 0
     workers: Dict[int, WorkerLaneMetrics] = field(default_factory=dict)
 
     def observe_queue_depth(self, depth: int) -> None:
         if depth > self.queue_high_water:
             self.queue_high_water = depth
+
+    def observe_partial_matches(self, count: int) -> None:
+        """Record one sample of the live partial-match population."""
+        if count > self.partial_matches_high_water:
+            self.partial_matches_high_water = count
 
     def observe_checkpoint_bytes(self, size: int) -> None:
         """Account one persisted checkpoint (or delta) file."""
@@ -194,6 +203,7 @@ class PipelineMetrics:
             "watermark_lag_mean": self.watermark_lag.mean_seconds,
             "watermark_lag_max": self.watermark_lag.max_seconds,
             "reorder_depth_hw": float(self.reorder_depth_high_water),
+            "partial_matches_high_water": float(self.partial_matches_high_water),
             "workers": float(len(lanes)),
             "worker_queue_hw_max": float(
                 max((lane.queue_high_water for lane in lanes), default=0)

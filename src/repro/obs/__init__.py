@@ -18,7 +18,14 @@ waiting for the end-of-run report:
   off by default, reconciling exactly with the aggregate ``StageTiming``;
 * **the control plane** (:mod:`~repro.obs.control`) — a stdlib
   ``http.server`` thread serving ``/health``, ``/ready``, ``/metrics``,
-  ``/decisions`` and ``POST /checkpoint`` on the running pipeline.
+  ``/decisions``, ``/engine`` and ``POST /checkpoint`` on the running
+  pipeline;
+* **engine introspection** (:mod:`~repro.obs.introspect`) — opt-in,
+  zero-overhead-when-off operator-level instrumentation: per-condition
+  evaluation counters and wall time, per-NFA-edge / per-tree-node
+  accept/reject counts, partial-match population gauges, and a
+  cost-model drift monitor comparing the installed plan's predicted
+  selectivities against what the stream actually delivers.
 
 CLI wiring: ``serve --control-port 8080 --decision-log decisions.jsonl``
 (add ``--trace`` to enable span recording).  This package must stay free
@@ -34,9 +41,20 @@ from repro.obs.decisions import (
     read_decision_records,
     verify_continuity,
 )
+from repro.obs.introspect import (
+    ConditionProfile,
+    DriftMonitor,
+    EdgeProfile,
+    EngineProfiler,
+    ProfiledCondition,
+    engine_introspection_frame,
+    merge_introspection_frames,
+    merge_profile_frames,
+)
 from repro.obs.registry import (
     MetricsRegistry,
     Sample,
+    engine_introspection_samples,
     render_json,
     render_prometheus,
 )
@@ -55,6 +73,16 @@ __all__ = [
     "Sample",
     "render_prometheus",
     "render_json",
+    "engine_introspection_samples",
+    # engine introspection
+    "EngineProfiler",
+    "ProfiledCondition",
+    "ConditionProfile",
+    "EdgeProfile",
+    "DriftMonitor",
+    "engine_introspection_frame",
+    "merge_introspection_frames",
+    "merge_profile_frames",
     # tracing
     "Tracer",
     "Span",

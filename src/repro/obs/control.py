@@ -18,6 +18,13 @@ a load balancer, an orchestrator, and an operator each need:
 ``GET /decisions``
     The decision log's in-memory tail; filter with ``?type=``,
     ``?limit=``, ``?since=``, ``?until=``.
+``GET /engine``
+    Engine introspection: the current plan, operator-level profile
+    (condition timings, edge accept/reject counts, partial-match
+    populations) and the cost-model drift table (see
+    :mod:`repro.obs.introspect`).  Sections appear as the pipeline's
+    engine provides them; profiling data requires an engine built with
+    ``introspect=True``.
 ``POST /checkpoint``
     Manual checkpoint cut: requests a cut through the pipeline's existing
     snapshot barrier (the run loop performs it between batches, exactly
@@ -167,6 +174,19 @@ class ControlPlane:
             "records": [record.as_dict() for record in records],
         }
 
+    def handle_engine(self) -> Tuple[int, Dict[str, Any]]:
+        introspection = getattr(self.pipeline, "engine_introspection", None)
+        if introspection is None:
+            # A bare engine attached in place of a pipeline still answers.
+            introspection = getattr(self.pipeline, "introspection", None)
+        if introspection is None:
+            return 501, {"error": "pipeline does not expose engine introspection"}
+        try:
+            frame = introspection()
+        except Exception as exc:  # engine mid-restore / workers mid-restart
+            return 503, {"error": f"engine introspection unavailable: {exc}"}
+        return 200, frame
+
     def handle_checkpoint(self) -> Tuple[int, Dict[str, Any]]:
         request = getattr(self.pipeline, "request_checkpoint", None)
         if request is None:
@@ -228,6 +248,8 @@ class _ControlHandler(BaseHTTPRequestHandler):
             self._send_text(200, body, content_type)
         elif route == "/decisions":
             self._send_json(*self.control.handle_decisions(self._query()))
+        elif route == "/engine":
+            self._send_json(*self.control.handle_engine())
         else:
             self._send_json(404, {"error": f"unknown endpoint {route!r}"})
 

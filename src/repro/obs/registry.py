@@ -105,6 +105,90 @@ def render_json(samples: List[Sample]) -> str:
     return json.dumps({"metrics": payload}, indent=2, sort_keys=False) + "\n"
 
 
+def engine_introspection_samples(
+    frame: dict, instance: str = "pipeline"
+) -> List[Sample]:
+    """Convert an engine-introspection frame into metric series.
+
+    ``frame`` is what :meth:`StreamingPipeline.engine_introspection` /
+    :meth:`AdaptiveCEPEngine.introspection` returns; missing sections
+    (introspection disabled, bare engines) simply yield fewer series.
+    Non-finite drift values (no prediction yet) are skipped — Prometheus
+    has no useful rendering for them.
+    """
+    base = {"pipeline": instance}
+    samples: List[Sample] = []
+    matches = frame.get("partial_matches") or {}
+    if "live" in matches:
+        samples.append(
+            Sample(
+                f"{NAMESPACE}_partial_matches_live",
+                float(matches["live"]),
+                dict(base),
+                "Live partial matches across the engine's operator states.",
+                "gauge",
+            )
+        )
+    profile = frame.get("profile") or {}
+    for label, data in sorted((profile.get("conditions") or {}).items()):
+        labels = {**base, "condition": label}
+        samples.append(
+            Sample(
+                f"{NAMESPACE}_condition_evaluations_total",
+                float(data["calls"]),
+                dict(labels),
+                "Evaluations of one profiled pattern condition.",
+                "counter",
+            )
+        )
+        samples.append(
+            Sample(
+                f"{NAMESPACE}_condition_seconds_total",
+                float(data["seconds"]),
+                dict(labels),
+                "Cumulative wall time spent evaluating one condition.",
+                "counter",
+            )
+        )
+    drift = frame.get("drift") or {}
+    predicted_cost = drift.get("predicted_cost")
+    if predicted_cost is not None and predicted_cost == predicted_cost:
+        samples.append(
+            Sample(
+                f"{NAMESPACE}_plan_predicted_cost",
+                float(predicted_cost),
+                dict(base),
+                "Cost-model prediction for the installed plan at install time.",
+                "gauge",
+            )
+        )
+    max_drift = drift.get("max_drift")
+    if isinstance(max_drift, (int, float)) and max_drift == max_drift and max_drift != float("inf"):
+        samples.append(
+            Sample(
+                f"{NAMESPACE}_cost_model_drift_max",
+                float(max_drift),
+                dict(base),
+                "Worst predicted-vs-observed selectivity drift magnitude.",
+                "gauge",
+            )
+        )
+    for row in drift.get("pairs") or ():
+        ratio = row.get("ratio")
+        if not isinstance(ratio, (int, float)) or ratio != ratio or ratio == float("inf"):
+            continue
+        samples.append(
+            Sample(
+                f"{NAMESPACE}_cost_model_drift_ratio",
+                float(ratio),
+                {**base, "pair": row["pair"]},
+                "Observed/predicted selectivity per monitored pair.",
+                "gauge",
+            )
+        )
+    return samples
+
+
 def _timing_samples(
     name: str, timing: StageTiming, labels: Dict[str, str], help: str
 ) -> List[Sample]:
@@ -133,6 +217,7 @@ class MetricsRegistry:
         self._lock = threading.Lock()
         self._pipelines: Dict[str, PipelineMetrics] = {}
         self._gauges: Dict[str, Tuple[Callable[[], float], Dict[str, str], str]] = {}
+        self._samplers: Dict[str, Callable[[], List[Sample]]] = {}
         self._clock = clock
         self._started_at = clock()
 
@@ -159,6 +244,39 @@ class MetricsRegistry:
         with self._lock:
             self._gauges[name] = (read, dict(labels or {}), help)
 
+    def register_sampler(
+        self, name: str, sampler: Callable[[], List[Sample]]
+    ) -> None:
+        """Attach a callable producing a whole sample list per scrape.
+
+        For sources whose series set varies with runtime state (e.g. one
+        drift gauge per monitored selectivity pair) — a fixed
+        :meth:`register_gauge` cannot express those.  A raising sampler is
+        skipped, like a dead gauge.
+        """
+        with self._lock:
+            self._samplers[name] = sampler
+
+    def unregister_sampler(self, name: str) -> None:
+        with self._lock:
+            self._samplers.pop(name, None)
+
+    def register_engine_introspection(
+        self, introspection: Callable[[], dict], name: str = "pipeline"
+    ) -> None:
+        """Export an engine-introspection frame source as metric series.
+
+        ``introspection`` is polled at scrape time — pass
+        ``pipeline.engine_introspection`` or ``engine.introspection``.
+        Emits the cost-model drift gauges, the live/high-water
+        partial-match population and per-condition profiling counters (see
+        :func:`engine_introspection_samples`).
+        """
+        self.register_sampler(
+            f"engine:{name}",
+            lambda: engine_introspection_samples(introspection(), name),
+        )
+
     # ------------------------------------------------------------------
     # Snapshot + render
     # ------------------------------------------------------------------
@@ -167,6 +285,7 @@ class MetricsRegistry:
         with self._lock:
             pipelines = dict(self._pipelines)
             gauges = dict(self._gauges)
+            samplers = dict(self._samplers)
         samples: List[Sample] = [
             Sample(
                 f"{NAMESPACE}_uptime_seconds",
@@ -184,6 +303,11 @@ class MetricsRegistry:
             except Exception:
                 continue  # a dead gauge must not break the scrape
             samples.append(Sample(name, value, labels, help_text, "gauge"))
+        for name, sampler in samplers.items():
+            try:
+                samples.extend(sampler())
+            except Exception:
+                continue  # a dead sampler must not break the scrape
         return samples
 
     def _pipeline_samples(self, instance: str, m: PipelineMetrics) -> List[Sample]:
@@ -258,6 +382,13 @@ class MetricsRegistry:
                 float(m.reorder_depth_high_water),
                 dict(base),
                 "High-water mark of the event-time reorder buffer.",
+                "gauge",
+            ),
+            Sample(
+                f"{prefix}_partial_matches_high_water",
+                float(m.partial_matches_high_water),
+                dict(base),
+                "High-water mark of the engine's live partial-match population.",
                 "gauge",
             ),
         ]

@@ -81,7 +81,7 @@ class ParallelCEPEngine:
         :class:`SerialExecutor`.
     batch_size:
         Events per ingestion batch (chunked dispatch to the shards).
-    statistics_provider / initial_snapshot / monitoring_interval:
+    statistics_provider / initial_snapshot / monitoring_interval / introspect:
         Forwarded to every shard's engine replica.
     validate_partitioning:
         When true (default), the partitioner's safety check runs against
@@ -101,6 +101,7 @@ class ParallelCEPEngine:
         initial_snapshot: Optional[StatisticsSnapshot] = None,
         monitoring_interval: float = 1.0,
         validate_partitioning: bool = True,
+        introspect: bool = False,
     ):
         self.pattern = pattern
         self._partitioner = partitioner or BroadcastPartitioner()
@@ -116,6 +117,7 @@ class ParallelCEPEngine:
             statistics_provider=statistics_provider,
             initial_snapshot=initial_snapshot,
             monitoring_interval=monitoring_interval,
+            introspect=introspect,
         )
         # Lazily created on first process() call (streaming ingestion).
         self._streaming_dedup: Optional[StreamingMatchDeduplicator] = None

@@ -99,11 +99,14 @@ class StreamingMatchDeduplicator:
         # Evict at most once per window of stream time: a full-dict sweep per
         # event would turn the hot path quadratic.
         if self._seen and now - self._last_eviction >= self.window:
-            horizon = now - self.window
+            # Age each signature with the same subtraction the admission
+            # contract uses (now - seen_at); deriving a shared horizon via
+            # now - window rounds differently and can evict a signature
+            # that is exactly one window old.
             self._seen = {
                 signature: seen_at
                 for signature, seen_at in self._seen.items()
-                if seen_at >= horizon
+                if now - seen_at <= self.window
             }
             self._last_eviction = now
         admitted: List[Match] = []

@@ -159,6 +159,7 @@ class ShardedEngine:
         statistics_provider: Optional[StatisticsProvider] = None,
         initial_snapshot: Optional[StatisticsSnapshot] = None,
         monitoring_interval: float = 1.0,
+        introspect: bool = False,
     ):
         if num_shards < 1:
             raise ParallelExecutionError(
@@ -176,6 +177,7 @@ class ShardedEngine:
                     statistics_provider,
                     initial_snapshot,
                     monitoring_interval,
+                    introspect=introspect,
                 ),
             )
             for shard_id in range(self._num_shards)
@@ -239,6 +241,7 @@ def build_replica(
     statistics_provider: Optional[StatisticsProvider],
     initial_snapshot: Optional[StatisticsSnapshot],
     monitoring_interval: float,
+    introspect: bool = False,
 ) -> EngineLike:
     """One fresh engine with private planner/policy copies."""
     replica_planner = copy.deepcopy(planner)
@@ -251,6 +254,7 @@ def build_replica(
             statistics_provider=statistics_provider,
             initial_snapshot=initial_snapshot,
             monitoring_interval=monitoring_interval,
+            introspect=introspect,
         )
     return AdaptiveCEPEngine(
         pattern,
@@ -259,4 +263,5 @@ def build_replica(
         statistics_provider=statistics_provider,
         initial_snapshot=initial_snapshot,
         monitoring_interval=monitoring_interval,
+        introspect=introspect,
     )

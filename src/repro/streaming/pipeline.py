@@ -302,6 +302,28 @@ class StreamingPipeline:
     def matches_emitted(self) -> int:
         return self._matches_emitted_total
 
+    def engine_introspection(self) -> dict:
+        """One frame of engine internals (plan, operator stats, drift).
+
+        Delegates to the execution backend, which merges per-shard frames
+        for worker backends; see :mod:`repro.obs.introspect` and the
+        control plane's ``/engine`` endpoint.
+        """
+        return self._backend.engine_introspection()
+
+    def _sample_partial_matches(self) -> None:
+        """Record the live partial-match population into the metrics.
+
+        Called only at checkpoint cuts and end-of-run — a deliberate
+        low-frequency gauge so the per-event hot path never pays for it.
+        """
+        count = getattr(self._backend.engine, "partial_match_count", None)
+        if callable(count):
+            try:
+                self.metrics.observe_partial_matches(count())
+            except Exception:  # pragma: no cover - engine mid-teardown
+                pass
+
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
@@ -370,6 +392,8 @@ class StreamingPipeline:
             new_cost=record.new_cost,
             plan=record.plan_description,
             events_processed=self._events_processed_total,
+            trigger_distance=getattr(record, "trigger_distance", None),
+            drift=getattr(record, "drift", None),
         )
 
     def _iter_controllers(self, engine=None) -> Iterator[object]:
@@ -387,8 +411,11 @@ class StreamingPipeline:
         if controller is not None:
             yield controller
         sub_engines = getattr(engine, "sub_engines", None)
-        if callable(sub_engines):
-            for sub in sub_engines():
+        if sub_engines is not None:
+            # MultiPatternEngine exposes sub_engines as a property (a
+            # list); older engine shapes exposed a method.
+            subs = sub_engines() if callable(sub_engines) else sub_engines
+            for sub in subs:
                 if sub is not engine:
                     yield from self._iter_controllers(sub)
         sharded = getattr(engine, "sharded_engine", None)
@@ -565,6 +592,9 @@ class StreamingPipeline:
             self._delta_epoch = epoch
             self._epoch_seq = epoch
         self._events_at_last_checkpoint = self._events_processed_total
+        # The snapshot above refreshed worker-owned replicas, so the
+        # population gauge sees current state even on process backends.
+        self._sample_partial_matches()
         pause = self._clock() - started
         self.metrics.checkpoint.observe(pause)
         self.metrics.checkpoints_written += 1
@@ -888,6 +918,7 @@ class StreamingPipeline:
             # plans they adapted to) back on close.  Idempotent — the
             # finally-block close becomes a no-op.
             self._backend.close()
+            self._sample_partial_matches()
 
             self.metrics.events_shed += self._buffer.events_shed
             self._buffer.events_shed = 0

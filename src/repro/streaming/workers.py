@@ -169,6 +169,12 @@ class ExecutionBackend:
         """Plan descriptions accumulated by the engine(s), best effort."""
         return []
 
+    def engine_introspection(self) -> dict:
+        """One frame of engine internals (see :mod:`repro.obs.introspect`)."""
+        from repro.obs.introspect import engine_introspection_frame
+
+        return engine_introspection_frame(self.engine)
+
     def __repr__(self) -> str:
         return f"<{type(self).__name__}>"
 
@@ -424,6 +430,26 @@ class _WorkerBackendBase(ExecutionBackend):
                 for plan in getattr(engine, "plan_history", [])
             )
         return history
+
+    def engine_introspection(self) -> dict:
+        """Per-shard introspection frames merged into one cross-shard view.
+
+        The thread backend's shard replicas are the live worker engines;
+        the process backend's replicas are refreshed here through the same
+        snapshot barrier a checkpoint uses (workers ship their state back
+        and the coordinator adopts it), so the profile frames describe the
+        workers' current truth, not a stale template.
+        """
+        from repro.obs.introspect import (
+            engine_introspection_frame,
+            merge_introspection_frames,
+        )
+
+        if self._started and self._workers_own_state:
+            self._full_snapshot(None)
+        return merge_introspection_frames(
+            [engine_introspection_frame(engine) for engine in self._engines]
+        )
 
     # ------------------------------------------------------------------
     # Subclass hooks

@@ -68,6 +68,7 @@ def _fixed_metrics() -> PipelineMetrics:
     m.last_checkpoint_bytes = 2048
     m.queue_high_water = 17
     m.reorder_depth_high_water = 5
+    m.partial_matches_high_water = 9
     m.source.observe(0.25)
     m.source.observe(0.75)
     m.engine.observe(0.5)

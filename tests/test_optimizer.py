@@ -143,6 +143,52 @@ class TestComparisonRecorder:
         assert len(recorder.condition_sets()[0].tightest(camera_snapshot(), k=0)) == 2
 
 
+class TestPlanGenerationResult:
+    def _result(self):
+        return GreedyOrderPlanner().generate(camera_pattern(), camera_snapshot())
+
+    def test_bundles_plan_with_its_creation_snapshot(self):
+        result = self._result()
+        # The snapshot the result carries is the statistics the plan was
+        # generated from -- what makes ``plan.cost(result.snapshot)`` the
+        # *predicted* cost the drift monitor freezes at install time.
+        assert result.snapshot.rate("A") == 100.0
+        assert result.plan.cost(result.snapshot) > 0.0
+        assert result.generator_name == GreedyOrderPlanner().name
+
+    def test_block_counts_agree_with_condition_sets(self):
+        result = self._result()
+        assert result.num_blocks == len(result.condition_sets)
+        assert result.total_conditions() == sum(
+            len(s) for s in result.condition_sets
+        )
+        assert result.total_conditions() >= result.num_blocks - 1
+
+    def test_describe_lists_every_deciding_condition(self):
+        result = self._result()
+        text = result.describe()
+        assert result.plan.describe() in text
+        for condition_set in result.condition_sets:
+            for condition in condition_set:
+                assert condition.describe() in text
+
+    def test_open_block_registers_empty_sets_in_order(self):
+        recorder = ComparisonRecorder()
+        recorder.open_block("first")
+        recorder.record("second", RateTerm("C"), RateTerm("B"))
+        recorder.open_block("first")  # idempotent
+        sets = recorder.condition_sets()
+        assert [s.block_label for s in sets] == ["first", "second"]
+        assert sets[0].is_empty() and not sets[1].is_empty()
+
+    def test_count_comparison_tracks_unrecorded_comparisons(self):
+        recorder = ComparisonRecorder()
+        recorder.count_comparison()
+        recorder.count_comparison()
+        recorder.record("block", RateTerm("C"), RateTerm("B"))
+        assert recorder.comparisons_performed == 2
+
+
 class TestGreedyOrderPlanner:
     def test_orders_by_ascending_rate(self):
         result = GreedyOrderPlanner().generate(camera_pattern(), camera_snapshot())
