@@ -16,6 +16,8 @@ and run the engine as a continuously-ingesting service::
         --partition-by entity_id --dataset stocks
     python -m repro.experiments.cli serve --control-port 8080 \
         --decision-log decisions.jsonl --checkpoint-dir ckpt
+    python -m repro.experiments.cli serve --listen-port 9000 \
+        --webhook-url http://127.0.0.1:9100 --checkpoint-dir ckpt
     python -m repro.experiments.cli stream-bench --rates 0,2000,8000
     python -m repro.experiments.cli stream-bench --backend process \
         --worker-counts 1,2,4
@@ -69,15 +71,21 @@ from repro.experiments.streaming_rate import (
     rate_sweep_rows,
     worker_sweep_rows,
 )
+from repro.metrics import NetworkMetrics
 from repro.obs import ControlPlane, DecisionLog, MetricsRegistry, Tracer
 from repro.streaming import (
     CheckpointStore,
     CSVFileSource,
+    HTTPEventIngress,
     JSONLFileSource,
     JSONLMatchWriter,
     MetricsSink,
+    NetworkEventSource,
     ReplaySource,
+    SocketMatchSink,
     StreamingPipeline,
+    TCPEventIngress,
+    WebhookMatchSink,
     bounded_shuffle,
     overflow_policy_by_name,
 )
@@ -238,6 +246,61 @@ def _add_observability_options(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="record batch-level spans (source → reorder → engine → sink) "
         "for per-cycle timing attribution; off by default",
+    )
+
+
+def _add_network_options(parser: argparse.ArgumentParser) -> None:
+    """Network data-plane options (serve)."""
+    parser.add_argument(
+        "--listen-port",
+        type=int,
+        default=None,
+        help="ingest events over HTTP: POST /events (JSON records; 429 "
+        "signals backpressure), POST /end, GET /stats on this port "
+        "(0 = ephemeral, printed at startup); overrides --source",
+    )
+    parser.add_argument(
+        "--tcp-port",
+        type=int,
+        default=None,
+        help="ingest events over a line-delimited TCP socket on this port "
+        "(one JSON record per line, per-line acks; a full buffer blocks "
+        "the reader); combinable with --listen-port",
+    )
+    parser.add_argument(
+        "--listen-host",
+        type=str,
+        default="127.0.0.1",
+        help="bind address for --listen-port / --tcp-port",
+    )
+    parser.add_argument(
+        "--listen-idle-timeout",
+        type=float,
+        default=None,
+        help="stop the network source after this many seconds with no "
+        "arrivals (default: wait for POST /end, a TCP END line, or Ctrl-C)",
+    )
+    parser.add_argument(
+        "--webhook-url",
+        type=str,
+        default=None,
+        help="deliver each match by HTTP POST to this URL, acked against "
+        "the checkpoint barrier (Idempotency-Key header; retries with "
+        "capped backoff)",
+    )
+    parser.add_argument(
+        "--socket-sink",
+        type=str,
+        default=None,
+        help="deliver matches over TCP to HOST:PORT (line frames with "
+        "per-match acks)",
+    )
+    parser.add_argument(
+        "--dead-letter",
+        type=str,
+        default=None,
+        help="spill matches that exhaust their delivery retries to this "
+        "JSONL file instead of stopping the pipeline",
     )
 
 
@@ -407,10 +470,49 @@ def _run_serve(args: argparse.Namespace) -> int:
     spec = PolicySpec("invariant", distance=0.1, label="invariant")
     engine = build_streaming_engine(config, pattern, spec)
 
+    # Network data plane: a push-buffer source behind HTTP/TCP ingress
+    # servers (replacing --source) and/or acked delivery sinks, all sharing
+    # one NetworkMetrics object (registered with the control plane below).
+    use_network_source = args.listen_port is not None or args.tcp_port is not None
+    net_metrics = (
+        NetworkMetrics()
+        if use_network_source or args.webhook_url or args.socket_sink
+        else None
+    )
+    if use_network_source:
+        types = {t.name: t for t in dataset.event_types}
+        source = NetworkEventSource(
+            types, idle_timeout=args.listen_idle_timeout, metrics=net_metrics
+        )
+    else:
+        source = _serve_source(args, config, dataset, workload)
+
     metrics_sink = MetricsSink()
     sinks = [metrics_sink]
     if args.sink:
         sinks.append(JSONLMatchWriter(args.sink))
+    if args.webhook_url:
+        sinks.append(
+            WebhookMatchSink(
+                args.webhook_url,
+                dead_letter_path=args.dead_letter,
+                metrics=net_metrics,
+            )
+        )
+    if args.socket_sink:
+        sink_host, _, sink_port = args.socket_sink.rpartition(":")
+        if not sink_host or not sink_port.isdigit():
+            raise StreamingError(
+                f"--socket-sink expects HOST:PORT, got {args.socket_sink!r}"
+            )
+        sinks.append(
+            SocketMatchSink(
+                sink_host,
+                int(sink_port),
+                dead_letter_path=args.dead_letter,
+                metrics=net_metrics,
+            )
+        )
     store = CheckpointStore(args.checkpoint_dir) if args.checkpoint_dir else None
 
     # Observability: a decision log when asked for (file-backed via
@@ -424,7 +526,7 @@ def _run_serve(args: argparse.Namespace) -> int:
 
     pipeline = StreamingPipeline(
         engine,
-        _serve_source(args, config, dataset, workload),
+        source,
         sinks=sinks,
         checkpoint_store=store,
         checkpoint_every=args.checkpoint_every if store else 0,
@@ -443,15 +545,37 @@ def _run_serve(args: argparse.Namespace) -> int:
         registry = MetricsRegistry()
         registry.register_pipeline(pipeline.metrics)
         registry.register_engine_introspection(pipeline.engine_introspection)
+        if net_metrics is not None:
+            registry.register_network(net_metrics)
         control = ControlPlane(
             pipeline=pipeline,
             registry=registry,
             decision_log=decision_log,
+            network=net_metrics,
             host=args.control_host,
             port=args.control_port,
         )
         control.start()
         print(f"control plane listening on {control.url}")
+
+    # The ingress servers accept pushes the moment they are up; events that
+    # land before the pipeline finishes a checkpoint restore are handled by
+    # the source's sequence-number dedup, so starting early is safe.
+    ingresses = []
+    if args.listen_port is not None:
+        http_ingress = HTTPEventIngress(
+            source, host=args.listen_host, port=args.listen_port
+        ).start()
+        ingresses.append(http_ingress)
+        print(f"HTTP event ingress listening on {http_ingress.url}/events")
+    if args.tcp_port is not None:
+        tcp_ingress = TCPEventIngress(
+            source, host=args.listen_host, port=args.tcp_port
+        ).start()
+        ingresses.append(tcp_ingress)
+        print(
+            f"TCP event ingress listening on {args.listen_host}:{tcp_ingress.port}"
+        )
 
     # Graceful shutdown on Ctrl-C: finish the in-flight event, write a final
     # checkpoint, flush the sinks.  A second Ctrl-C falls through to the
@@ -466,6 +590,8 @@ def _run_serve(args: argparse.Namespace) -> int:
         result = pipeline.run(max_events=args.serve_events)
     finally:
         signal.signal(signal.SIGINT, previous_handler)
+        for ingress in ingresses:
+            ingress.stop()
         if control is not None:
             control.stop()
 
@@ -476,6 +602,10 @@ def _run_serve(args: argparse.Namespace) -> int:
         + (f", resumed from event {result.resumed_from}" if result.resumed_from else "")
     )
     print(format_table([result.metrics.as_row()], title="pipeline metrics"))
+    if net_metrics is not None:
+        print(
+            format_table([net_metrics.snapshot()], title="network data plane")
+        )
     if result.metrics.workers:
         print(
             format_table(
@@ -889,6 +1019,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="stop after processing this many events (default: run the source dry)",
     )
+    _add_network_options(serve)
     _add_observability_options(serve)
     serve.set_defaults(handler=_run_serve)
 

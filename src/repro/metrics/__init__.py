@@ -1,12 +1,18 @@
 """Performance metrics collected by the experiment harness."""
 
 from repro.metrics.run_metrics import RunMetrics, ThroughputTimer, aggregate_metrics
-from repro.metrics.stage_metrics import PipelineMetrics, StageTiming, WorkerLaneMetrics
+from repro.metrics.stage_metrics import (
+    NetworkMetrics,
+    PipelineMetrics,
+    StageTiming,
+    WorkerLaneMetrics,
+)
 
 __all__ = [
     "RunMetrics",
     "ThroughputTimer",
     "aggregate_metrics",
+    "NetworkMetrics",
     "PipelineMetrics",
     "StageTiming",
     "WorkerLaneMetrics",

@@ -90,6 +90,51 @@ class WorkerLaneMetrics:
 
 
 @dataclass
+class NetworkMetrics:
+    """Counters of the network data plane (ingestion and match delivery).
+
+    One object is shared by every network endpoint of a pipeline — the
+    socket/HTTP ingestion servers count arrivals (accepted into the push
+    queue, rejected under backpressure, dropped as duplicates of an
+    already-ingested sequence number, or invalid), and the acked match
+    sinks count deliveries, retries and dead-letter spills.  ``delivery``
+    aggregates the wall time of each successful receiver round trip.
+    """
+
+    events_accepted: int = 0
+    events_rejected: int = 0
+    events_duplicate: int = 0
+    events_invalid: int = 0
+    matches_delivered: int = 0
+    delivery_retries: int = 0
+    dead_letters: int = 0
+    delivery: StageTiming = field(default_factory=StageTiming)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat dictionary of the counters (the ``/network`` endpoint body)."""
+        return {
+            "events_accepted": self.events_accepted,
+            "events_rejected": self.events_rejected,
+            "events_duplicate": self.events_duplicate,
+            "events_invalid": self.events_invalid,
+            "matches_delivered": self.matches_delivered,
+            "delivery_retries": self.delivery_retries,
+            "dead_letters": self.dead_letters,
+            "delivery_ms_mean": self.delivery.mean_seconds * 1e3,
+            "delivery_ms_max": self.delivery.max_seconds * 1e3,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"NetworkMetrics(accepted={self.events_accepted}, "
+            f"rejected={self.events_rejected}, "
+            f"delivered={self.matches_delivered}, "
+            f"retries={self.delivery_retries}, "
+            f"dead_letters={self.dead_letters})"
+        )
+
+
+@dataclass
 class PipelineMetrics:
     """Counters and per-stage timings of one pipeline run.
 

@@ -55,6 +55,7 @@ from repro.obs.registry import (
     MetricsRegistry,
     Sample,
     engine_introspection_samples,
+    network_samples,
     render_json,
     render_prometheus,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "render_prometheus",
     "render_json",
     "engine_introspection_samples",
+    "network_samples",
     # engine introspection
     "EngineProfiler",
     "ProfiledCondition",

@@ -25,6 +25,12 @@ a load balancer, an orchestrator, and an operator each need:
     :mod:`repro.obs.introspect`).  Sections appear as the pipeline's
     engine provides them; profiling data requires an engine built with
     ``introspect=True``.
+``GET /network``
+    Data-plane counters of a networked pipeline: events accepted /
+    rejected (backpressure) / duplicate / invalid at the ingestion
+    endpoints, matches delivered / retried / dead-lettered by the acked
+    sinks, and the delivery-latency aggregate.  404 when the pipeline has
+    no network data plane attached.
 ``POST /checkpoint``
     Manual checkpoint cut: requests a cut through the pipeline's existing
     snapshot barrier (the run loop performs it between batches, exactly
@@ -68,6 +74,9 @@ class ControlPlane:
         Metrics source for ``/metrics``.
     decision_log:
         Record source for ``/decisions`` (optional).
+    network:
+        A live :class:`~repro.metrics.NetworkMetrics` (or anything with a
+        ``snapshot() -> dict``) answering ``/network`` (optional).
     host / port:
         Bind address; ``port=0`` binds an ephemeral port (tests), exposed
         via :attr:`port` after :meth:`start`.
@@ -78,12 +87,14 @@ class ControlPlane:
         pipeline: Optional[Any] = None,
         registry: Optional[MetricsRegistry] = None,
         decision_log: Optional[DecisionLog] = None,
+        network: Optional[Any] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
         self.pipeline = pipeline
         self.registry = registry if registry is not None else MetricsRegistry()
         self.decision_log = decision_log
+        self.network = network
         self.host = host
         self._requested_port = int(port)
         self._server: Optional[ThreadingHTTPServer] = None
@@ -187,6 +198,13 @@ class ControlPlane:
             return 503, {"error": f"engine introspection unavailable: {exc}"}
         return 200, frame
 
+    def handle_network(self) -> Tuple[int, Dict[str, Any]]:
+        if self.network is None:
+            return 404, {"error": "pipeline has no network data plane attached"}
+        snapshot = getattr(self.network, "snapshot", None)
+        body = snapshot() if callable(snapshot) else dict(self.network)
+        return 200, body
+
     def handle_checkpoint(self) -> Tuple[int, Dict[str, Any]]:
         request = getattr(self.pipeline, "request_checkpoint", None)
         if request is None:
@@ -250,6 +268,8 @@ class _ControlHandler(BaseHTTPRequestHandler):
             self._send_json(*self.control.handle_decisions(self._query()))
         elif route == "/engine":
             self._send_json(*self.control.handle_engine())
+        elif route == "/network":
+            self._send_json(*self.control.handle_network())
         else:
             self._send_json(404, {"error": f"unknown endpoint {route!r}"})
 

@@ -48,6 +48,8 @@ DECISION_TYPES = (
     "checkpoint_cut",
     "compaction",
     "replan",
+    "delivery_retry",
+    "dead_letter",
 )
 
 #: In-memory tail length (records) when the caller does not override it.

@@ -189,6 +189,67 @@ def engine_introspection_samples(
     return samples
 
 
+def network_samples(metrics, instance: str = "pipeline") -> List[Sample]:
+    """Convert a :class:`~repro.metrics.NetworkMetrics` into metric series.
+
+    The ``repro_net_*`` family: ingestion counters (accepted / rejected
+    under backpressure / duplicate / invalid), delivery counters
+    (delivered, retries, dead letters) and the delivery-latency
+    StageTiming triple.
+    """
+    base = {"pipeline": instance}
+    counters = (
+        (
+            "events_accepted",
+            metrics.events_accepted,
+            "Events accepted by the network ingestion endpoints.",
+        ),
+        (
+            "events_rejected",
+            metrics.events_rejected,
+            "Events rejected under ingestion backpressure (HTTP 429).",
+        ),
+        (
+            "events_duplicate",
+            metrics.events_duplicate,
+            "Re-pushed events dropped as duplicates of an ingested sequence.",
+        ),
+        (
+            "events_invalid",
+            metrics.events_invalid,
+            "Malformed event records refused by the ingestion endpoints.",
+        ),
+        (
+            "matches_delivered",
+            metrics.matches_delivered,
+            "Matches acknowledged by a webhook/socket receiver.",
+        ),
+        (
+            "delivery_retries",
+            metrics.delivery_retries,
+            "Match delivery attempts that failed and were retried.",
+        ),
+        (
+            "dead_letters",
+            metrics.dead_letters,
+            "Matches spilled to the dead-letter file after retry exhaustion.",
+        ),
+    )
+    samples = [
+        Sample(f"{NAMESPACE}_net_{name}_total", float(value), dict(base), help_text, "counter")
+        for name, value, help_text in counters
+    ]
+    samples.extend(
+        _timing_samples(
+            f"{NAMESPACE}_net_delivery_seconds",
+            metrics.delivery,
+            dict(base),
+            "Receiver round-trip latency of acknowledged match deliveries.",
+        )
+    )
+    return samples
+
+
 def _timing_samples(
     name: str, timing: StageTiming, labels: Dict[str, str], help: str
 ) -> List[Sample]:
@@ -275,6 +336,17 @@ class MetricsRegistry:
         self.register_sampler(
             f"engine:{name}",
             lambda: engine_introspection_samples(introspection(), name),
+        )
+
+    def register_network(self, metrics, name: str = "pipeline") -> None:
+        """Export a live :class:`~repro.metrics.NetworkMetrics` object.
+
+        Emits the ``repro_net_*`` ingestion/delivery counters and the
+        delivery-latency triple (see :func:`network_samples`), sampled at
+        scrape time like every other source.
+        """
+        self.register_sampler(
+            f"network:{name}", lambda: network_samples(metrics, name)
         )
 
     # ------------------------------------------------------------------

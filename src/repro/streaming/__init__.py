@@ -40,6 +40,12 @@ The building blocks:
   of only the changed state between (``--checkpoint-mode delta`` on the
   CLI); restore replays base + deltas, and worker backends ship per-shard
   deltas through the snapshot barrier;
+* **the network data plane** (:mod:`~repro.streaming.net`) — socket/HTTP
+  event ingestion feeding the pipeline with backpressure (HTTP 429s,
+  blocking socket reads) and acked match delivery (webhook / socket sinks
+  with idempotency keys, retry with capped backoff, dead-letter spill)
+  that stays exactly-once through kill/resume (``--listen-port`` /
+  ``--tcp-port`` / ``--webhook-url`` / ``--socket-sink`` on the CLI);
 * **the pipeline** (:mod:`~repro.streaming.pipeline`) — the run loop
   wiring it all together, with per-stage latency/queue metrics and
   graceful shutdown;
@@ -66,6 +72,19 @@ from repro.streaming.delta import (
     materialize_engine_blob,
     prime_engine_tracker,
 )
+from repro.streaming.net import (
+    AckedDeliverySink,
+    HTTPEventIngress,
+    NetworkEventSource,
+    SocketMatchReceiver,
+    SocketMatchSink,
+    TCPEventIngress,
+    WebhookMatchSink,
+    WebhookReceiver,
+    push_events_http,
+    push_events_tcp,
+    read_event_records,
+)
 from repro.streaming.ordering import (
     LATE_POLICIES,
     BoundedOutOfOrdernessWatermarks,
@@ -91,6 +110,7 @@ from repro.streaming.sinks import (
     match_record,
 )
 from repro.streaming.sources import (
+    NO_EVENT,
     CallbackSource,
     CSVFileSource,
     EventSource,
@@ -121,6 +141,7 @@ __all__ = [
     "EventSource",
     "IterableSource",
     "CallbackSource",
+    "NO_EVENT",
     "ReplaySource",
     "JSONLFileSource",
     "CSVFileSource",
@@ -134,6 +155,18 @@ __all__ = [
     "JSONLMatchWriter",
     "MetricsSink",
     "match_record",
+    # network data plane
+    "NetworkEventSource",
+    "HTTPEventIngress",
+    "TCPEventIngress",
+    "AckedDeliverySink",
+    "WebhookMatchSink",
+    "SocketMatchSink",
+    "WebhookReceiver",
+    "SocketMatchReceiver",
+    "push_events_http",
+    "push_events_tcp",
+    "read_event_records",
     # buffering
     "BoundedBuffer",
     "OverflowPolicy",

@@ -442,6 +442,9 @@ class StreamingPipeline:
             controller.decision_sink = self._on_replan
         if self._store is not None:
             self._store.observer = self._record_decision
+        for sink in self._sinks:
+            if hasattr(sink, "on_decision"):
+                sink.on_decision = self._record_decision
 
     # ------------------------------------------------------------------
     # Graceful shutdown

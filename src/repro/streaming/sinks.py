@@ -75,7 +75,12 @@ class CollectorSink(MatchSink):
         return len(self.matches)
 
     def restore(self, state: Any) -> None:
-        count = int(state or 0)
+        try:
+            count = int(state or 0)
+        except (TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"collector sink: malformed checkpoint state {state!r}: {exc}"
+            ) from None
         if count > len(self.matches):
             raise CheckpointError(
                 f"collector sink cannot roll back to {count} matches: only "
@@ -133,10 +138,15 @@ class JSONLMatchWriter(MatchSink):
         self._append = bool(append)
         self._handle = None
         self.matches_written = 0
+        # Byte offset after the last written line, tracked *across* close():
+        # a checkpoint cut after close() must still record the real
+        # position, or a later restore would truncate the whole file.
+        self._last_offset = 0
 
     def open(self) -> None:
         if self._handle is None:
             self._handle = open(self.path, "a" if self._append else "w", encoding="utf-8")
+            self._last_offset = self._handle.tell()
 
     def emit(self, match: Match) -> None:
         if self._handle is None:
@@ -155,19 +165,29 @@ class JSONLMatchWriter(MatchSink):
     def close(self) -> None:
         if self._handle is not None:
             self.flush()
+            self._last_offset = self._handle.tell()
             self._handle.close()
             self._handle = None
 
     def state(self) -> Dict[str, int]:
         if self._handle is None:
-            return {"offset": 0, "matches": 0}
+            # Closed (or never opened): the last known offset, not 0 — the
+            # matches already written must survive a restore from this state.
+            return {"offset": self._last_offset, "matches": self.matches_written}
         self._handle.flush()
-        return {"offset": self._handle.tell(), "matches": self.matches_written}
+        self._last_offset = self._handle.tell()
+        return {"offset": self._last_offset, "matches": self.matches_written}
 
     def restore(self, state: Any) -> None:
         if not state:
             return
-        offset = int(state["offset"])
+        try:
+            offset = int(state["offset"])
+            matches = int(state["matches"])
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"jsonl-writer sink: malformed checkpoint state {state!r}: {exc}"
+            ) from None
         was_open = self._handle is not None
         if was_open:
             self._handle.flush()
@@ -190,7 +210,8 @@ class JSONLMatchWriter(MatchSink):
         if size is not None:
             with open(self.path, "r+", encoding="utf-8") as handle:
                 handle.truncate(offset)
-        self.matches_written = int(state["matches"])
+        self.matches_written = matches
+        self._last_offset = offset
         # Continue appending after the rollback point.
         self._append = True
         if was_open:
@@ -227,9 +248,17 @@ class MetricsSink(MatchSink):
     def restore(self, state: Any) -> None:
         if not state:
             return
-        self.total = int(state["total"])
-        self.per_pattern = dict(state["per_pattern"])
-        self.last_detection_time = state["last_detection_time"]
+        try:
+            total = int(state["total"])
+            per_pattern = dict(state["per_pattern"])
+            last_detection_time = state["last_detection_time"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"metrics sink: malformed checkpoint state {state!r}: {exc}"
+            ) from None
+        self.total = total
+        self.per_pattern = per_pattern
+        self.last_detection_time = last_detection_time
 
     def __repr__(self) -> str:
         return f"<MetricsSink total={self.total}>"

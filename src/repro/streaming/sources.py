@@ -137,22 +137,48 @@ class IterableSource(EventSource):
         return iter(self._events)
 
 
+class _NoEvent:
+    """The type of the :data:`NO_EVENT` sentinel (repr-friendly singleton)."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "NO_EVENT"
+
+
+#: Sentinel a :class:`CallbackSource` poll may return when it has *no event
+#: available yet*.  Distinct from ``None``, which still means end-of-stream:
+#: a network poll that comes up empty must be able to say "not yet" without
+#: terminating the whole source.
+NO_EVENT = _NoEvent()
+
+
 class CallbackSource(EventSource):
     """Pull events from a zero-argument callable.
 
-    The callable returns the next :class:`~repro.events.Event`, or ``None``
-    to signal end-of-stream — the natural adapter for client libraries that
-    expose a blocking ``poll()``-style API.
+    The callable returns the next :class:`~repro.events.Event`, ``None`` to
+    signal end-of-stream, or :data:`NO_EVENT` when nothing is available
+    *yet* — the natural adapter for client libraries that expose a
+    ``poll()``-style API, whether it blocks or not.
+
+    After a :data:`NO_EVENT` the optional ``on_idle`` hook runs (block,
+    sleep, or yield there); returning ``False`` from it ends the stream.
+    Without ``on_idle`` the source polls again immediately, so a
+    non-blocking poller should pass one to avoid a busy loop.
     """
 
     name = "callback"
 
     def __init__(
-        self, poll: Callable[[], Optional[Event]], rate: Optional[float] = None
+        self,
+        poll: Callable[[], Optional[Event]],
+        rate: Optional[float] = None,
+        on_idle: Optional[Callable[[], Optional[bool]]] = None,
     ):
         if not callable(poll):
             raise StreamingError("CallbackSource requires a callable")
+        if on_idle is not None and not callable(on_idle):
+            raise StreamingError("CallbackSource on_idle must be callable")
         self._poll = poll
+        self._on_idle = on_idle
         super().__init__(rate=rate)
 
     def _records(self) -> Iterator[Event]:
@@ -160,6 +186,10 @@ class CallbackSource(EventSource):
             event = self._poll()
             if event is None:
                 return
+            if event is NO_EVENT:
+                if self._on_idle is not None and self._on_idle() is False:
+                    return
+                continue
             yield event
 
 

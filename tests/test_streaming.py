@@ -36,6 +36,7 @@ from repro.streaming import (
     JSONLFileSource,
     JSONLMatchWriter,
     MetricsSink,
+    NO_EVENT,
     RateLimiter,
     ReplaySource,
     StreamingPipeline,
@@ -136,6 +137,32 @@ class TestSources:
         queue = list(events)
         source = CallbackSource(lambda: queue.pop(0) if queue else None)
         assert list(source) == events
+
+    def test_callback_source_no_event_is_not_eof(self):
+        # NO_EVENT means "nothing available yet" — the source polls on,
+        # unlike None which terminates the stream.
+        events = self._events(2)
+        replies = [events[0], NO_EVENT, NO_EVENT, events[1], None]
+        source = CallbackSource(lambda: replies.pop(0))
+        assert list(source) == events
+
+    def test_callback_source_on_idle_runs_after_no_event(self):
+        events = self._events(1)
+        replies = [NO_EVENT, NO_EVENT, events[0], None]
+        idles = []
+        source = CallbackSource(
+            lambda: replies.pop(0), on_idle=lambda: idles.append(len(idles))
+        )
+        assert list(source) == events
+        assert idles == [0, 1]  # once per NO_EVENT
+
+    def test_callback_source_on_idle_false_ends_the_stream(self):
+        source = CallbackSource(lambda: NO_EVENT, on_idle=lambda: False)
+        assert list(source) == []
+
+    def test_callback_source_rejects_non_callable_on_idle(self):
+        with pytest.raises(StreamingError):
+            CallbackSource(lambda: None, on_idle=42)
 
     def test_replay_source_throttles(self):
         import time
@@ -326,6 +353,69 @@ class TestSinks:
         sink = JSONLMatchWriter(str(tmp_path / "m.jsonl"))
         with pytest.raises(StreamingError):
             sink.emit(_some_matches(1)[0])
+
+    def test_jsonl_writer_state_after_close_keeps_offset(self, tmp_path):
+        # A checkpoint cut after close() must record the real file offset:
+        # {"offset": 0} here would make a later restore truncate everything.
+        path = str(tmp_path / "matches.jsonl")
+        matches = _some_matches(2)
+        sink = JSONLMatchWriter(path)
+        sink.open()
+        for match in matches:
+            sink.emit(match)
+        open_state = sink.state()
+        sink.close()
+        closed_state = sink.state()
+        assert closed_state == open_state
+        assert closed_state["offset"] > 0 and closed_state["matches"] == 2
+
+        resumed = JSONLMatchWriter(path)
+        resumed.restore(closed_state)
+        assert len(open(path).read().splitlines()) == 2  # nothing truncated
+        assert resumed.matches_written == 2
+
+    def test_jsonl_writer_rollback_to_zero_empties_a_populated_file(self, tmp_path):
+        # offset 0 is a legitimate checkpoint (cut before any match): the
+        # rollback withdraws every line, it is not a malformed state.
+        path = str(tmp_path / "matches.jsonl")
+        sink = JSONLMatchWriter(path)
+        sink.open()
+        state = sink.state()
+        for match in _some_matches(2):
+            sink.emit(match)
+        sink.close()
+        assert open(path).read().splitlines()
+        resumed = JSONLMatchWriter(path)
+        resumed.restore(state)
+        assert open(path).read() == ""
+        assert resumed.matches_written == 0
+
+    def test_jsonl_writer_restore_rejects_malformed_state(self, tmp_path):
+        sink = JSONLMatchWriter(str(tmp_path / "m.jsonl"))
+        with pytest.raises(CheckpointError, match="jsonl-writer sink"):
+            sink.restore({"offset": 10})  # missing "matches"
+        with pytest.raises(CheckpointError, match="jsonl-writer sink"):
+            sink.restore({"offset": "ten", "matches": 1})
+        with pytest.raises(CheckpointError, match="jsonl-writer sink"):
+            sink.restore([10, 1])
+        sink.restore(None)  # empty state = fresh start, not an error
+
+    def test_collector_restore_rejects_malformed_state(self):
+        sink = CollectorSink()
+        with pytest.raises(CheckpointError, match="collector sink"):
+            sink.restore("many")
+        with pytest.raises(CheckpointError, match="collector sink"):
+            sink.restore({"count": 2})
+
+    def test_metrics_sink_restore_rejects_malformed_state(self):
+        sink = MetricsSink()
+        with pytest.raises(CheckpointError, match="metrics sink"):
+            sink.restore({"total": 1})  # missing per_pattern
+        with pytest.raises(CheckpointError, match="metrics sink"):
+            sink.restore({"total": "lots", "per_pattern": {}, "last_detection_time": None})
+        with pytest.raises(CheckpointError, match="metrics sink"):
+            sink.restore(7)
+        sink.restore(None)
 
     def test_metrics_sink_counts(self):
         matches = _some_matches(2)
