@@ -11,7 +11,13 @@ engine — useful for understanding the paper's method without any streaming:
 4. show the davg heuristic's distance estimate for the plan;
 5. run the pattern with ``introspect=True`` and print what the engine
    *measured*: live operator stats (condition timings, edge accept/reject
-   counts, partial-match populations) and the cost-model drift table.
+   counts, partial-match populations) and the cost-model drift table;
+6. re-run the same stream with ``compile_mode="compiled"`` and show how
+   the hotspot report changes: the per-condition timings now measure the
+   specialized kernels :mod:`repro.compile` lowered the condition tree
+   into at plan-build time, not the interpreted ``evaluate`` walk — so a
+   condition that stays hot in compiled mode is genuinely expensive, not
+   just paying tree-walk overhead.
 
 Run with::
 
@@ -33,6 +39,7 @@ from repro import (
     build_invariant_set,
 )
 from repro.adaptive import InvariantBasedPolicy
+from repro.compile import specialization_counts
 from repro.engine import AdaptiveCEPEngine
 from repro.events import Event
 
@@ -140,6 +147,51 @@ def show_introspection(pattern, snapshot) -> None:
     print(f"  worst drift ratio: {drift['max_drift']:.2f}")
 
 
+def show_compiled_hotspots(pattern, snapshot) -> None:
+    """The same replay, compiled: kernel specialization + hotspot shift.
+
+    With ``compile_mode="compiled"`` the profiler's timings wrap the
+    specialized closures instead of the interpreted condition tree, so the
+    hotspot table now answers "which *kernel* is expensive" — a condition
+    that drops far down the ranking was merely paying interpreter
+    overhead, one that stays on top does real comparison work.
+    """
+    engine = AdaptiveCEPEngine(
+        pattern,
+        GreedyOrderPlanner(),
+        InvariantBasedPolicy(distance=0.1),
+        initial_snapshot=snapshot,
+        monitoring_interval=5.0,
+        introspect=True,
+        compile_mode="compiled",
+    )
+    result = engine.run(make_stream())
+    frame = engine.introspection()
+    print(f"ran {result.metrics.events_processed} events, {result.match_count} matches")
+
+    compiled = engine.migration_manager.active_engine._compiled
+    kernels = [k for ks in compiled.local_kernels.values() for k in ks]
+    for step in compiled.steps or ():
+        kernels.extend(step.kernels)
+    specialized, fallback = specialization_counts(kernels)
+    print(
+        f"plan lowered into {len(kernels)} kernels: {specialized} specialized, "
+        f"{fallback} interpreted-fallback (opaque predicates keep exact semantics)"
+    )
+
+    print("compiled-kernel hotspots (timings wrap the kernels, not the tree walk):")
+    for data in sorted(
+        frame["profile"]["conditions"].values(),
+        key=lambda d: d["seconds"],
+        reverse=True,
+    ):
+        print(
+            f"  {data['label']:<28} calls={data['calls']:>6,}"
+            f"  pass_rate={data['pass_rate']:>6.1%}"
+            f"  total={data['seconds'] * 1e3:7.3f} ms"
+        )
+
+
 def main() -> None:
     pattern = build_pattern()
     snapshot = StatisticsSnapshot(
@@ -188,6 +240,10 @@ def main() -> None:
 
     print("--- live run with introspect=True: measured vs predicted ---")
     show_introspection(pattern, snapshot)
+    print()
+
+    print("--- the same run with compile_mode='compiled' ---")
+    show_compiled_hotspots(pattern, snapshot)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,64 @@
+"""Columnar (struct-of-arrays) view over one event batch.
+
+Batch-mode ingestion hands the engines a list of events.  The interpreted
+path re-reads each event's payload dict once per acceptance predicate; a
+columnar view instead materialises each referenced attribute **once per
+batch** into a flat list, so compiled local kernels sweep contiguous
+Python lists instead of chasing ``Event -> payload -> key`` indirections
+per call.
+
+Columns are materialised lazily: only the attributes some compiled
+kernel actually touches are ever extracted, and the per-type row index is
+built on first use, so patterns with few event types pay nothing for the
+types they ignore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["EventBatchColumns"]
+
+
+class EventBatchColumns:
+    """Lazy struct-of-arrays projection of a batch of events."""
+
+    __slots__ = ("events", "_columns", "_rows_by_type")
+
+    def __init__(self, events: Sequence):
+        self.events: Tuple = tuple(events)
+        self._columns: Dict[str, List] = {}
+        self._rows_by_type: Dict[str, List[int]] = None
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def column(self, attribute: str) -> List:
+        """The attribute's values across the whole batch (None if absent)."""
+        column = self._columns.get(attribute)
+        if column is None:
+            column = self._columns[attribute] = [
+                event.get(attribute) for event in self.events
+            ]
+        return column
+
+    def rows_by_type(self) -> Dict[str, List[int]]:
+        """Row indices grouped by event type, in arrival order."""
+        rows = self._rows_by_type
+        if rows is None:
+            rows = {}
+            for i, event in enumerate(self.events):
+                rows.setdefault(event.type_name, []).append(i)
+            self._rows_by_type = rows
+        return rows
+
+    @property
+    def last_timestamp(self) -> float:
+        """Timestamp of the final event (bulk statistics are stamped here)."""
+        return self.events[-1].timestamp
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"EventBatchColumns({len(self.events)} events, "
+            f"{len(self._columns)} columns materialised)"
+        )

@@ -15,7 +15,7 @@ from __future__ import annotations
 import operator
 from typing import Callable, FrozenSet, Mapping, Optional, Sequence
 
-from repro.conditions.base import Condition
+from repro.conditions.base import _OPAQUE_TOKENS, Condition
 from repro.errors import PatternError
 
 _OPERATORS: dict = {
@@ -91,6 +91,12 @@ class AttributeThresholdCondition(_SingleVariableCondition):
             if attr is None or not self._op(attr, self._value):
                 return False
         return True
+
+    def cache_key(self) -> str:
+        return (
+            f"thr:{self._variable}.{self._attribute}"
+            f"{self._op_symbol}{self._value!r}"
+        )
 
     def __repr__(self) -> str:
         return f"{self._variable}.{self._attribute} {self._op_symbol} {self._value!r}"
@@ -168,6 +174,12 @@ class AttributeComparisonCondition(Condition):
                     return False
         return True
 
+    def cache_key(self) -> str:
+        return (
+            f"cmp:{self._left_variable}.{self._left_attribute}"
+            f"{self._op_symbol}{self._right_variable}.{self._right_attribute}"
+        )
+
     def __repr__(self) -> str:
         return (
             f"{self._left_variable}.{self._left_attribute} {self._op_symbol} "
@@ -216,6 +228,11 @@ class PredicateCondition(Condition):
         self._ordered_variables = tuple(variables)
         self._predicate = predicate
         self._name = name or getattr(predicate, "__name__", "predicate")
+        # Assigned eagerly (not lazily like the base class) so the token is
+        # minted before any copy of this condition is pickled to a process
+        # worker — every replica then profiles under the same key, while
+        # two *different* lambdas with identical reprs keep distinct keys.
+        self.cache_key()
 
     @property
     def ordered_variables(self) -> Sequence[str]:
@@ -230,6 +247,14 @@ class PredicateCondition(Condition):
             return True
         arguments = [binding[variable] for variable in self._ordered_variables]
         return bool(self._predicate(*arguments))
+
+    def cache_key(self) -> str:
+        token = getattr(self, "_cache_token", None)
+        if token is None:
+            token = self._cache_token = next(_OPAQUE_TOKENS)
+        return (
+            f"pred:{self._name}({','.join(self._ordered_variables)})#{token}"
+        )
 
     def __repr__(self) -> str:
         return f"{self._name}({', '.join(self._ordered_variables)})"

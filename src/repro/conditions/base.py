@@ -17,9 +17,15 @@ Conditions expose:
 
 from __future__ import annotations
 
+import itertools
 from typing import FrozenSet, Iterable, Mapping, Sequence, Tuple
 
 from repro.errors import PatternError
+
+#: Process-wide counter backing the identity tokens of opaque conditions.
+#: Deterministic (construction order) so two identical runs assign the same
+#: keys, which keeps profile frames comparable across runs.
+_OPAQUE_TOKENS = itertools.count()
 
 
 class Condition:
@@ -33,6 +39,24 @@ class Condition:
     def evaluate(self, binding: Mapping[str, object]) -> bool:
         """Evaluate against a binding; unbound variables make it vacuously true."""
         raise NotImplementedError
+
+    def cache_key(self) -> str:
+        """Stable identity key for profiling and kernel-compilation caches.
+
+        Unlike ``repr``, two *distinct* conditions never share a key unless
+        they are structurally equal comparisons: atomic attribute
+        comparisons return a structural key (so equal predicates share
+        compiled kernels and profile rows), while opaque conditions — user
+        lambdas and unknown subclasses — get a unique per-instance token,
+        so two different lambdas with identical reprs no longer merge their
+        profile counts.  The token is a plain instance attribute and
+        therefore survives pickling: every copy of a condition shipped to a
+        process worker reports under the same key.
+        """
+        token = getattr(self, "_cache_token", None)
+        if token is None:
+            token = self._cache_token = next(_OPAQUE_TOKENS)
+        return f"opaque:{type(self).__name__}:{token}"
 
     def is_fully_bound(self, binding: Mapping[str, object]) -> bool:
         """Whether every referenced variable is present in ``binding``."""
@@ -69,6 +93,9 @@ class TrueCondition(Condition):
 
     def evaluate(self, binding: Mapping[str, object]) -> bool:
         return True
+
+    def cache_key(self) -> str:
+        return "true"
 
     def flatten(self) -> Sequence[Condition]:
         return ()
@@ -109,6 +136,9 @@ class AndCondition(_CompositeCondition):
     def evaluate(self, binding: Mapping[str, object]) -> bool:
         return all(operand.evaluate(binding) for operand in self._operands)
 
+    def cache_key(self) -> str:
+        return "and(" + "&".join(op.cache_key() for op in self._operands) + ")"
+
     def flatten(self) -> Sequence[Condition]:
         flattened = []
         for operand in self._operands:
@@ -130,6 +160,9 @@ class OrCondition(_CompositeCondition):
         if not self.is_fully_bound(binding):
             return True
         return any(operand.evaluate(binding) for operand in self._operands)
+
+    def cache_key(self) -> str:
+        return "or(" + "|".join(op.cache_key() for op in self._operands) + ")"
 
     def __repr__(self) -> str:
         return "(" + " | ".join(repr(op) for op in self._operands) + ")"
@@ -159,6 +192,9 @@ class NotCondition(Condition):
         if not self.is_fully_bound(binding):
             return True
         return not self._operand.evaluate(binding)
+
+    def cache_key(self) -> str:
+        return f"not({self._operand.cache_key()})"
 
     def __repr__(self) -> str:
         return f"~({self._operand!r})"

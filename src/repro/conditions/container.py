@@ -23,6 +23,7 @@ class ConditionSet:
     def __init__(self, condition: Condition = None):
         self._conjuncts: List[Condition] = []
         self._by_variables: Dict[FrozenSet[str], List[Condition]] = {}
+        self._keys: set = set()
         if condition is not None:
             self.add(condition)
 
@@ -35,10 +36,20 @@ class ConditionSet:
         return condition_set
 
     def add(self, condition: Condition) -> None:
-        """Add a condition; top-level conjunctions are flattened."""
+        """Add a condition; top-level conjunctions are flattened.
+
+        Repeated conjuncts — same :meth:`Condition.cache_key` — are dropped
+        so a predicate duplicated in the pattern's WHERE clause is never
+        evaluated (or compiled) twice per edge.  Opaque conditions carry
+        per-instance keys, so only *provably* identical conjuncts merge.
+        """
         for conjunct in condition.flatten():
             if isinstance(conjunct, TrueCondition):
                 continue
+            cache_key = conjunct.cache_key()
+            if cache_key in self._keys:
+                continue
+            self._keys.add(cache_key)
             self._conjuncts.append(conjunct)
             key = conjunct.variables
             self._by_variables.setdefault(key, []).append(conjunct)

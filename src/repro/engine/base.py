@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Set
 
+from repro.compile import CompiledPlanKernels, validate_compile_mode
 from repro.errors import EngineError
 from repro.events import Event
 from repro.engine.match import Match, PartialMatch
@@ -28,6 +29,7 @@ class EngineCounters:
     extension_attempts: int = 0
     matches_emitted: int = 0
     matches_suppressed_by_negation: int = 0
+    candidates_pruned: int = 0
 
     def merge(self, other: "EngineCounters") -> "EngineCounters":
         return EngineCounters(
@@ -38,6 +40,7 @@ class EngineCounters:
             matches_emitted=self.matches_emitted + other.matches_emitted,
             matches_suppressed_by_negation=self.matches_suppressed_by_negation
             + other.matches_suppressed_by_negation,
+            candidates_pruned=self.candidates_pruned + other.candidates_pruned,
         )
 
 
@@ -71,6 +74,13 @@ class EvaluationEngine:
         *is* ``pattern.conditions`` — the disabled path evaluates the
         original objects with no wrapper and no profiling branch inside
         condition evaluation.
+    compile_mode:
+        ``"interpreted"`` (default) evaluates conditions through their
+        ``evaluate`` method; ``"compiled"`` lowers the plan's conditions
+        to specialized kernels at plan-build time; ``"indexed"`` adds
+        equality-predicate hash indexes over the candidate stores.
+        Subclasses opt in by calling :meth:`_compile_plan` once
+        ``self.plan`` is set.
     """
 
     def __init__(
@@ -78,10 +88,13 @@ class EvaluationEngine:
         pattern: Pattern,
         collector: Optional[StatisticsCollector] = None,
         profiler=None,
+        compile_mode: str = "interpreted",
     ):
         self.pattern = pattern
         self.collector = collector
         self.profiler = profiler
+        self.compile_mode = validate_compile_mode(compile_mode)
+        self._compiled: Optional[CompiledPlanKernels] = None
         if profiler is None:
             self._conditions = pattern.conditions
         else:
@@ -103,6 +116,34 @@ class EvaluationEngine:
     def process(self, event: Event) -> List[Match]:
         """Consume one event; return matches completed by it."""
         raise NotImplementedError
+
+    def process_batch(self, events: List[Event]) -> List[Match]:
+        """Consume a batch of events; return matches completed by it.
+
+        The base implementation is the per-event loop; engines with a
+        columnar fast path (compiled modes) override it.
+        """
+        matches: List[Match] = []
+        for event in events:
+            matches.extend(self.process(event))
+        return matches
+
+    def _compile_plan(self) -> None:
+        """Build compiled kernels for ``self.plan`` (per ``compile_mode``).
+
+        Called by subclasses at the end of construction, once the plan
+        attribute exists.  Restored (unpickled) engines re-enter this
+        implicitly through :class:`~repro.compile.CompiledPlanKernels`'s
+        own ``__setstate__``.
+        """
+        if self.compile_mode == "interpreted":
+            self._compiled = None
+            return
+        self._compiled = CompiledPlanKernels(
+            self.plan,
+            profiler=self.profiler,
+            indexed=self.compile_mode == "indexed",
+        )
 
     def partial_match_count(self) -> int:
         """Number of partial matches currently stored (memory pressure proxy)."""

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, List, Optional
 
 from repro.adaptive import AdaptationController, ReoptimizationPolicy
+from repro.compile import validate_compile_mode
 from repro.engine.base import EvaluationEngine
 from repro.engine.match import Match
 from repro.engine.migration import PlanMigrationManager
@@ -51,12 +52,17 @@ def engine_for_plan(
     plan: EvaluationPlan,
     collector: Optional[StatisticsCollector] = None,
     profiler=None,
+    compile_mode: str = "interpreted",
 ) -> EvaluationEngine:
     """Instantiate the runtime engine matching a plan's family."""
     if isinstance(plan, OrderBasedPlan):
-        return LazyNFAEngine(plan, collector, profiler=profiler)
+        return LazyNFAEngine(
+            plan, collector, profiler=profiler, compile_mode=compile_mode
+        )
     if isinstance(plan, TreeBasedPlan):
-        return TreeEvaluationEngine(plan, collector, profiler=profiler)
+        return TreeEvaluationEngine(
+            plan, collector, profiler=profiler, compile_mode=compile_mode
+        )
     raise EngineError(f"no runtime engine available for plan type {type(plan).__name__}")
 
 
@@ -105,6 +111,13 @@ class AdaptiveCEPEngine:
         :class:`~repro.obs.introspect.DriftMonitor` tracks the installed
         plan's predicted cost/selectivities against observed statistics.
         Off by default — disabled engines are built exactly as before.
+    compile_mode:
+        Execution mode for every evaluation engine this facade builds
+        (including post-adaptation replacements, which recompile for
+        free at plan-build time): ``"interpreted"`` (default),
+        ``"compiled"`` (plan-build-time condition kernels) or
+        ``"indexed"`` (kernels plus equality-predicate candidate
+        indexes).  All modes emit byte-identical matches.
     """
 
     def __init__(
@@ -117,6 +130,7 @@ class AdaptiveCEPEngine:
         monitoring_interval: float = 1.0,
         statistics_window: Optional[float] = None,
         introspect: bool = False,
+        compile_mode: str = "interpreted",
     ):
         if monitoring_interval <= 0:
             raise EngineError("monitoring_interval must be positive")
@@ -125,6 +139,7 @@ class AdaptiveCEPEngine:
         self.policy = policy
         self._provider = statistics_provider
         self._monitoring_interval = float(monitoring_interval)
+        self.compile_mode = validate_compile_mode(compile_mode)
 
         window = pattern.window if pattern.window != float("inf") else 100.0
         self._collector = StatisticsCollector(
@@ -151,7 +166,10 @@ class AdaptiveCEPEngine:
         if self._drift is not None:
             self._drift.record_plan(self.controller.current_result, pattern)
         initial_engine = engine_for_plan(
-            self.controller.current_plan, self._collector, profiler=self._profiler
+            self.controller.current_plan,
+            self._collector,
+            profiler=self._profiler,
+            compile_mode=self.compile_mode,
         )
         self._migration = PlanMigrationManager(initial_engine, window=window)
         self._next_monitor_time: Optional[float] = None
@@ -301,6 +319,36 @@ class AdaptiveCEPEngine:
         self._collector.observe_event(event)
         return self._migration.process(event)
 
+    def process_batch(self, events: List[Event]) -> List[Match]:
+        """Process a batch of events with per-event adaptation ordering.
+
+        The batch is split into segments at monitoring boundaries, so the
+        decision function sees exactly the statistics state it would see
+        in event-at-a-time mode; within a segment the engines take their
+        batch fast path (columnar acceptance sweeps in compiled modes).
+        """
+        matches: List[Match] = []
+        segment: List[Event] = []
+        for event in events:
+            now = event.timestamp
+            if self._next_monitor_time is None:
+                self._next_monitor_time = now + self._monitoring_interval
+            elif now >= self._next_monitor_time:
+                if segment:
+                    matches.extend(self._flush_segment(segment))
+                    segment = []
+                self._run_adaptation_step(now)
+                self._next_monitor_time = now + self._monitoring_interval
+            segment.append(event)
+        if segment:
+            matches.extend(self._flush_segment(segment))
+        return matches
+
+    def _flush_segment(self, segment: List[Event]) -> List[Match]:
+        for event in segment:
+            self._collector.observe_event(event)
+        return self._migration.process_batch(segment)
+
     def _run_adaptation_step(self, now: float) -> None:
         """One iteration of the detection–adaptation loop's decision phase."""
         if self._provider is not None:
@@ -312,7 +360,10 @@ class AdaptiveCEPEngine:
         new_plan = self.controller.update(snapshot)
         if new_plan is not None:
             new_engine = engine_for_plan(
-                new_plan, self._collector, profiler=self._profiler
+                new_plan,
+                self._collector,
+                profiler=self._profiler,
+                compile_mode=self.compile_mode,
             )
             self._migration.switch_to(new_engine, switch_time=now)
             self._plan_history.append(new_plan.describe())

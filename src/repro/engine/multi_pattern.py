@@ -37,7 +37,8 @@ class MultiPatternEngine:
     policy_factory:
         Callable producing a fresh decision policy per sub-pattern
         (policies are stateful: each sub-pattern needs its own).
-    statistics_provider / initial_snapshot / monitoring_interval / introspect:
+    statistics_provider / initial_snapshot / monitoring_interval / introspect /
+    compile_mode:
         Forwarded to every sub-engine.
     """
 
@@ -50,10 +51,12 @@ class MultiPatternEngine:
         initial_snapshot: Optional[StatisticsSnapshot] = None,
         monitoring_interval: float = 1.0,
         introspect: bool = False,
+        compile_mode: str = "interpreted",
     ):
         if not isinstance(pattern, CompositePattern):
             raise EngineError("MultiPatternEngine requires a CompositePattern")
         self.pattern = pattern
+        self.compile_mode = compile_mode
         self._engines: List[AdaptiveCEPEngine] = []
         for subpattern in pattern.subpatterns():
             self._engines.append(
@@ -65,6 +68,7 @@ class MultiPatternEngine:
                     initial_snapshot=_restrict_snapshot(initial_snapshot, subpattern),
                     monitoring_interval=monitoring_interval,
                     introspect=introspect,
+                    compile_mode=compile_mode,
                 )
             )
 
@@ -151,6 +155,15 @@ class MultiPatternEngine:
         matches: List[Match] = []
         for engine in self._engines:
             matches.extend(engine.process(event))
+        return matches
+
+    def process_batch(self, events: List[Event]) -> List[Match]:
+        """Feed one batch to every sub-engine (sub-patterns are independent,
+        so per-batch instead of per-event interleaving changes only the
+        concatenation order of the union, not its contents)."""
+        matches: List[Match] = []
+        for engine in self._engines:
+            matches.extend(engine.process_batch(events))
         return matches
 
     def run(self, stream: "EventStream | Iterable[Event]") -> RunResult:

@@ -25,12 +25,26 @@ With this discipline every complete match is materialised exactly once —
 during the processing of its last-arriving event — and the number of live
 partial matches tracks the quantity the plan-generation cost model
 minimises.
+
+Execution modes
+---------------
+``compile_mode="interpreted"`` runs the historical per-event dispatch
+through :mod:`repro.engine.semantics`.  ``"compiled"`` swaps every check
+in :meth:`_try_extend` and :meth:`_accept_into_buffers` for the plan's
+:class:`~repro.compile.CompiledPlanKernels` (and sweeps acceptance
+predicates columnar-wise in :meth:`process_batch`).  ``"indexed"`` adds
+equality hash indexes over both candidate stores — the waiting partial
+matches and the buffered events of each step — so join probes only touch
+candidates whose equality key can match; pruned candidates are counted in
+``counters.candidates_pruned`` and reported to the statistics collector
+as bulk failed attempts.  All three modes emit byte-identical matches.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.compile import EqualityIndex, EventBatchColumns
 from repro.engine.base import EvaluationEngine
 from repro.engine.match import Match, PartialMatch
 from repro.engine.semantics import (
@@ -54,10 +68,11 @@ class LazyNFAEngine(EvaluationEngine):
         collector: Optional[StatisticsCollector] = None,
         expiry_interval_fraction: float = 0.25,
         profiler=None,
+        compile_mode: str = "interpreted",
     ):
         if not isinstance(plan, OrderBasedPlan):
             raise EngineError("LazyNFAEngine requires an OrderBasedPlan")
-        super().__init__(plan.pattern, collector, profiler)
+        super().__init__(plan.pattern, collector, profiler, compile_mode)
         self.plan = plan
         self._order = plan.order
         self._depth = len(self._order)
@@ -74,6 +89,35 @@ class LazyNFAEngine(EvaluationEngine):
             window * expiry_interval_fraction if window != float("inf") else float("inf")
         )
         self._last_expiry = float("-inf")
+        self._compile_plan()
+
+    def _compile_plan(self) -> None:
+        super()._compile_plan()
+        # Equality indexes shadow the candidate stores of the steps that
+        # carry an index spec; both are rebuilt from scratch on restore
+        # (and after expiry), never pickled.
+        self._index_specs = {}
+        self._waiting_index: Dict[str, EqualityIndex] = {}
+        self._buffer_index: Dict[str, EqualityIndex] = {}
+        if self._compiled is not None and self._compiled.indexed:
+            for step in self._compiled.steps:
+                if step.index_spec is not None:
+                    self._index_specs[step.variable] = step.index_spec
+                    self._waiting_index[step.variable] = EqualityIndex()
+                    self._buffer_index[step.variable] = EqualityIndex()
+
+    def __setstate__(self, state):
+        # Engines travel through checkpoints via plain __dict__ pickling;
+        # the equality indexes hold the same objects as the stores they
+        # shadow, so they are dropped pre-pickle and rebuilt here.
+        self.__dict__.update(state)
+        self._rebuild_indexes()
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state["_waiting_index"] = {}
+        state["_buffer_index"] = {}
+        return state
 
     # ------------------------------------------------------------------
     # EvaluationEngine interface
@@ -102,16 +146,56 @@ class LazyNFAEngine(EvaluationEngine):
                 pm for pm in matches if pm.min_timestamp is None or pm.min_timestamp >= cutoff
             ]
         self._expire_special_buffers(now)
+        if self._index_specs:
+            self._rebuild_indexes()
         self._last_expiry = now
 
+    def _rebuild_indexes(self) -> None:
+        for variable, spec in self._index_specs.items():
+            buffer_index = self._buffer_index[variable] = EqualityIndex()
+            attribute = spec.event_attribute
+            for event in self._buffers[variable]:
+                buffer_index.add(event.get(attribute), event)
+            waiting_index = self._waiting_index[variable] = EqualityIndex()
+            for partial in self._waiting[variable]:
+                self._index_waiting_partial(waiting_index, spec, partial)
+
+    @staticmethod
+    def _index_waiting_partial(index: EqualityIndex, spec, partial: PartialMatch) -> None:
+        bound = partial.bindings[spec.bound_variable]
+        if isinstance(bound, list):
+            index.add_unkeyed(partial)
+        else:
+            index.add(bound.get(spec.bound_attribute), partial)
+
     def process(self, event: Event) -> List[Match]:
+        return self._process_event(event, None, 0)
+
+    def process_batch(self, events: List[Event]) -> List[Match]:
+        """Batch entry point: columnar acceptance sweep in compiled modes.
+
+        The struct-of-arrays view materialises each attribute referenced
+        by an acceptance predicate once for the whole batch, and the
+        per-variable verdict bitmasks replace the per-event local kernel
+        calls inside :meth:`_accept_into_buffers`.
+        """
+        if self._compiled is None or not events:
+            return super().process_batch(events)
+        columns = EventBatchColumns(events)
+        verdicts = self._compiled.local_verdicts(columns, self.collector)
+        matches: List[Match] = []
+        for row, event in enumerate(columns.events):
+            matches.extend(self._process_event(event, verdicts, row))
+        return matches
+
+    def _process_event(self, event: Event, verdicts, row: int) -> List[Match]:
         now = event.timestamp
         self.counters.events_processed += 1
         if now - self._last_expiry >= self._expiry_interval:
             self.expire(now)
         self._buffer_special_items(event)
 
-        accepted_variables = self._accept_into_buffers(event)
+        accepted_variables = self._accept_into_buffers(event, verdicts, row)
         if not accepted_variables:
             return []
 
@@ -136,18 +220,34 @@ class LazyNFAEngine(EvaluationEngine):
     # ------------------------------------------------------------------
     # Matching steps
     # ------------------------------------------------------------------
-    def _accept_into_buffers(self, event: Event) -> List[str]:
-        """Buffer the event under every positive variable it can serve."""
+    def _accept_into_buffers(self, event: Event, verdicts, row: int) -> List[str]:
+        """Buffer the event under every positive variable it can serve.
+
+        ``verdicts`` carries precomputed columnar acceptance bitmasks when
+        the batch path is active; otherwise compiled local kernels (or the
+        interpreted conditions) run per event.
+        """
         accepted: List[str] = []
+        compiled = self._compiled
         for variable in self._type_to_variables.get(event.type_name, ()):
-            held = local_conditions_hold(
-                self.pattern, variable, event, self.collector,
-                conditions=self._conditions,
-            )
+            if verdicts is not None:
+                held = verdicts[variable][row]
+            elif compiled is not None:
+                held = compiled.evaluate_local(variable, event, self.collector)
+            else:
+                held = local_conditions_hold(
+                    self.pattern, variable, event, self.collector,
+                    conditions=self._conditions,
+                )
             if self.profiler is not None:
                 self.profiler.record_edge(f"buffer[{variable}]", held)
             if held:
                 self._buffers[variable].append(event)
+                spec = self._index_specs.get(variable)
+                if spec is not None:
+                    self._buffer_index[variable].add(
+                        event.get(spec.event_attribute), event
+                    )
                 accepted.append(variable)
         return accepted
 
@@ -157,7 +257,20 @@ class LazyNFAEngine(EvaluationEngine):
         """Extend stored partial matches whose next step accepts this event."""
         extended: List[PartialMatch] = []
         for variable in accepted_variables:
-            for partial in self._waiting[variable]:
+            spec = self._index_specs.get(variable)
+            if spec is None:
+                candidates = self._waiting[variable]
+            else:
+                primary, fallback, pruned = self._waiting_index[variable].probe(
+                    event.get(spec.event_attribute)
+                )
+                if primary is None:
+                    candidates = self._waiting[variable]
+                else:
+                    candidates = list(primary)
+                    candidates.extend(fallback)
+                    self._record_pruned(spec, pruned, now)
+            for partial in candidates:
                 candidate = self._try_extend(partial, variable, event, now)
                 if candidate is not None:
                     extended.append(candidate)
@@ -182,7 +295,17 @@ class LazyNFAEngine(EvaluationEngine):
                     continue
                 next_variable = self._order[partial.size]
                 self._waiting[next_variable].append(partial)
-                for buffered in self._buffers[next_variable]:
+                spec = self._index_specs.get(next_variable)
+                if spec is None:
+                    buffered_candidates = self._buffers[next_variable]
+                else:
+                    self._index_waiting_partial(
+                        self._waiting_index[next_variable], spec, partial
+                    )
+                    buffered_candidates = self._probe_buffered(
+                        spec, next_variable, partial, now
+                    )
+                for buffered in buffered_candidates:
                     if buffered is current_event or partial.contains_event(buffered):
                         continue
                     candidate = self._try_extend(partial, next_variable, buffered, now)
@@ -191,13 +314,55 @@ class LazyNFAEngine(EvaluationEngine):
             frontier = next_frontier
         return completed
 
+    def _probe_buffered(
+        self, spec, variable: str, partial: PartialMatch, now: float
+    ) -> List[Event]:
+        """Buffered events of ``variable`` that can satisfy the indexed equality."""
+        bound = partial.bindings[spec.bound_variable]
+        if isinstance(bound, list):
+            return self._buffers[variable]
+        primary, fallback, pruned = self._buffer_index[variable].probe(
+            bound.get(spec.bound_attribute)
+        )
+        if primary is None:
+            return self._buffers[variable]
+        candidates = list(primary)
+        candidates.extend(fallback)
+        self._record_pruned(spec, pruned, now)
+        return candidates
+
+    def _record_pruned(self, spec, pruned: int, now: float) -> None:
+        if pruned <= 0:
+            return
+        self.counters.candidates_pruned += pruned
+        if self.collector is not None:
+            a, b = spec.pair
+            self.collector.observe_condition_bulk(a, b, now, pruned, 0.0)
+
     def _try_extend(
         self, partial: PartialMatch, variable: str, event: Event, now: float
     ) -> Optional[PartialMatch]:
         """Attempt to bind ``event`` as ``variable`` in ``partial``."""
         self.counters.extension_attempts += 1
         candidate: Optional[PartialMatch] = None
-        if (
+        compiled = self._compiled
+        if compiled is not None:
+            # Partial bindings are always the plan-order prefix, so the
+            # step kernels for this extension sit at index ``partial.size``.
+            step = compiled.steps[partial.size]
+            if (
+                not partial.contains_event(event)
+                and compiled.window_ok(
+                    partial.min_timestamp, partial.max_timestamp, event.timestamp
+                )
+                and compiled.order_respected(step, partial.bindings, event)
+                and compiled.evaluate_step(
+                    step, partial.bindings, event, self.collector, now
+                )
+            ):
+                self.counters.partial_matches_created += 1
+                candidate = partial.extended(variable, event)
+        elif (
             not partial.contains_event(event)
             and window_respected(partial.bindings, event, self.pattern.window)
             and sequence_order_respected(self.pattern, partial.bindings, variable, event)

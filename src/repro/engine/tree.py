@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
+from repro.compile import EventBatchColumns
 from repro.engine.base import EvaluationEngine
 from repro.engine.match import Match, PartialMatch
 from repro.engine.semantics import (
@@ -53,10 +54,11 @@ class TreeEvaluationEngine(EvaluationEngine):
         collector: Optional[StatisticsCollector] = None,
         expiry_interval_fraction: float = 0.25,
         profiler=None,
+        compile_mode: str = "interpreted",
     ):
         if not isinstance(plan, TreeBasedPlan):
             raise EngineError("TreeEvaluationEngine requires a TreeBasedPlan")
-        super().__init__(plan.pattern, collector, profiler)
+        super().__init__(plan.pattern, collector, profiler, compile_mode)
         self.plan = plan
         self._stores: Dict[int, _NodeStore] = {}
         self._leaf_by_type: Dict[str, List[TreeLeaf]] = {}
@@ -68,6 +70,7 @@ class TreeEvaluationEngine(EvaluationEngine):
             window * expiry_interval_fraction if window != float("inf") else float("inf")
         )
         self._last_expiry = float("-inf")
+        self._compile_plan()
 
     def _build_stores(
         self,
@@ -108,18 +111,38 @@ class TreeEvaluationEngine(EvaluationEngine):
         self._last_expiry = now
 
     def process(self, event: Event) -> List[Match]:
+        return self._process_event(event, None, 0)
+
+    def process_batch(self, events: List[Event]) -> List[Match]:
+        """Batch entry point: columnar leaf-admission sweep in compiled modes."""
+        if self._compiled is None or not events:
+            return super().process_batch(events)
+        columns = EventBatchColumns(events)
+        verdicts = self._compiled.local_verdicts(columns, self.collector)
+        matches: List[Match] = []
+        for row, event in enumerate(columns.events):
+            matches.extend(self._process_event(event, verdicts, row))
+        return matches
+
+    def _process_event(self, event: Event, verdicts, row: int) -> List[Match]:
         now = event.timestamp
         self.counters.events_processed += 1
         if now - self._last_expiry >= self._expiry_interval:
             self.expire(now)
         self._buffer_special_items(event)
 
+        compiled = self._compiled
         matches: List[Match] = []
         for leaf in self._leaf_by_type.get(event.type_name, ()):
-            held = local_conditions_hold(
-                self.pattern, leaf.variable, event, self.collector,
-                conditions=self._conditions,
-            )
+            if verdicts is not None:
+                held = verdicts[leaf.variable][row]
+            elif compiled is not None:
+                held = compiled.evaluate_local(leaf.variable, event, self.collector)
+            else:
+                held = local_conditions_hold(
+                    self.pattern, leaf.variable, event, self.collector,
+                    conditions=self._conditions,
+                )
             if self.profiler is not None:
                 self.profiler.record_edge(f"leaf[{leaf.variable}]", held)
             if not held:
@@ -152,8 +175,9 @@ class TreeEvaluationEngine(EvaluationEngine):
         sibling_store = self._stores[id(store.sibling)]
         parent_node = store.parent
         profiler = self.profiler
+        node_id = id(node)
         for sibling_match in sibling_store.matches:
-            joined = self._try_join(partial, sibling_match, now)
+            joined = self._try_join(partial, sibling_match, now, node_id)
             if profiler is not None:
                 profiler.record_edge(
                     "join[" + ",".join(parent_node.variables()) + "]",
@@ -164,9 +188,14 @@ class TreeEvaluationEngine(EvaluationEngine):
         return emitted
 
     def _try_join(
-        self, left: PartialMatch, right: PartialMatch, now: float
+        self, left: PartialMatch, right: PartialMatch, now: float, node_id: int
     ) -> Optional[PartialMatch]:
-        """Join two sibling sub-matches if all constraints hold."""
+        """Join two sibling sub-matches if all constraints hold.
+
+        ``left`` is the sub-match that just arrived at the node identified
+        by ``node_id``; in compiled mode that id selects the pre-lowered
+        join kernels oriented with ``left``'s variables on the left side.
+        """
         self.counters.extension_attempts += 1
         span_min = min(
             value
@@ -182,7 +211,13 @@ class TreeEvaluationEngine(EvaluationEngine):
             return None
         if not groups_order_respected(self.pattern, left.bindings, right.bindings):
             return None
-        if not evaluate_join_conditions(
+        compiled = self._compiled
+        if compiled is not None:
+            if not compiled.evaluate_join(
+                node_id, left.bindings, right.bindings, self.collector, now
+            ):
+                return None
+        elif not evaluate_join_conditions(
             self.pattern, left.bindings, right.bindings, self.collector, now,
             conditions=self._conditions,
         ):

@@ -29,6 +29,12 @@ look inside the engine (operator profiling, cost-model drift)::
     python -m repro.experiments.cli profile --dataset stocks --top 10
     python -m repro.experiments.cli profile --overhead --trials 3 --enforce
 
+and compare the condition-evaluation strategies (interpreted condition
+trees vs compiled kernels vs compiled + equality-indexed pruning)::
+
+    python -m repro.experiments.cli compile-bench --dataset stocks --enforce
+    python -m repro.experiments.cli serve --compile-mode indexed --rate 5000
+
 Each sub-command prints the same plain-text tables the benchmark suite
 reports and optionally writes them as CSV.
 """
@@ -36,6 +42,7 @@ reports and optionally writes them as CSV.
 from __future__ import annotations
 
 import argparse
+import json
 import signal
 import sys
 from typing import List, Optional
@@ -47,6 +54,11 @@ from repro.experiments.checkpoint_bench import (
     DEFAULT_FULL_EVERY,
     checkpoint_mode_rows,
     enforce_checkpoint_gate,
+)
+from repro.experiments.compile_bench import (
+    bench_report,
+    compile_mode_rows,
+    enforce_compile_gate,
 )
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.distance_estimation import distance_estimation_table
@@ -124,6 +136,15 @@ def _add_common_options(parser: argparse.ArgumentParser) -> None:
         default="serial",
         help="shard executor: in-process serial or a multiprocess worker pool",
     )
+    parser.add_argument(
+        "--compile-mode",
+        choices=("interpreted", "compiled", "indexed"),
+        default="interpreted",
+        help="condition evaluation strategy: interpret the condition tree, "
+        "compile it into specialized kernels at plan-build time, or "
+        "additionally index equality joins to prune candidates before "
+        "evaluation (matches are identical in all three modes)",
+    )
 
 
 def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
@@ -142,6 +163,7 @@ def _config_from_args(args: argparse.Namespace) -> ExperimentConfig:
         backend=getattr(args, "backend", "inline"),
         workers=getattr(args, "workers", 0) or 0,
         introspect=getattr(args, "introspect", False),
+        compile_mode=getattr(args, "compile_mode", "interpreted"),
     )
 
 
@@ -806,6 +828,59 @@ def _run_checkpoint_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_compile_bench(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    rows = compile_mode_rows(
+        config,
+        size=int(args.size),
+        entities=args.entities,
+        trials=args.trials,
+    )
+    print(
+        format_table(
+            rows,
+            [
+                "pattern_class",
+                "mode",
+                "events",
+                "seconds",
+                "throughput",
+                "speedup",
+                "matches",
+                "matches_ok",
+                "candidates_pruned",
+            ],
+            title=(
+                f"{config.dataset}/{config.algorithm}: interpreted vs compiled "
+                f"vs indexed execution (matches must agree byte-for-byte)"
+            ),
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    problems = enforce_compile_gate(rows)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(bench_report(rows, problems), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote bench report to {args.json}")
+    if problems:
+        for problem in problems:
+            print(f"compile gate: {problem}", file=sys.stderr)
+        if args.enforce:
+            return 1
+    elif args.enforce:
+        best = max(
+            (row for row in rows if row["mode"] != "interpreted"),
+            key=lambda row: row["speedup"],
+        )
+        print(
+            f"compile gate: OK — matches are byte-identical in every mode and "
+            f"{best['mode']} mode peaks at {best['speedup']:.1f}x on the "
+            f"{best['pattern_class']} class"
+        )
+    return 0
+
+
 def _run_profile(args: argparse.Namespace) -> int:
     config = _config_from_args(args)
     if args.overhead:
@@ -1098,6 +1173,43 @@ def build_parser() -> argparse.ArgumentParser:
         "regression gate)",
     )
     checkpoint_bench.set_defaults(handler=_run_checkpoint_bench)
+
+    compile_bench = subparsers.add_parser(
+        "compile-bench",
+        help="interpreted vs compiled vs indexed execution comparison with "
+        "a byte-level match-equivalence check per mode",
+    )
+    _add_common_options(compile_bench)
+    compile_bench.add_argument(
+        "--size", type=int, default=3, help="pattern size for the benchmark patterns"
+    )
+    compile_bench.add_argument(
+        "--entities",
+        type=int,
+        default=8,
+        help="distinct partition-key values in the keyed join-heavy stream",
+    )
+    compile_bench.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="timed replays per mode (the fastest trial is kept)",
+    )
+    compile_bench.add_argument(
+        "--json",
+        type=str,
+        default="BENCH_compile.json",
+        help="write the rows plus the gate verdict to this JSON report "
+        "('' = skip)",
+    )
+    compile_bench.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit non-zero unless every mode reproduces the interpreted "
+        "match set, compiled mode is >= 1.3x on every pattern class and "
+        "indexed mode is >= 2x on the join-heavy class (the CI gate)",
+    )
+    compile_bench.set_defaults(handler=_run_compile_bench)
 
     profile = subparsers.add_parser(
         "profile",

@@ -1,0 +1,232 @@
+"""Interpreted vs compiled vs indexed execution — the CI compile gate.
+
+Replays the same recorded workload through a fresh
+:class:`~repro.engine.AdaptiveCEPEngine` once per compile mode
+(``interpreted``, ``compiled``, ``indexed``; see :mod:`repro.compile`)
+and reports, per pattern class and mode, the wall time, the throughput
+and the speedup over the interpreted baseline.  Two pattern classes are
+measured:
+
+* ``sequence`` — the dataset's plain SEQ pattern, dominated by local
+  acceptance predicates and inter-variable comparisons; this is where
+  condition compilation and the columnar batch path pay off.
+* ``keyed-join`` — the keyed multi-entity workload whose equality chain
+  on the partition key makes every extension a join; this is where the
+  equality-predicate index prunes candidate partial matches before any
+  condition runs (the ``candidates_pruned`` column).
+
+Every run replays identical events, so the ``matches_ok`` column doubles
+as a byte-level equivalence check against the interpreted reference —
+compilation must never change *what* is detected, only how fast.
+
+:func:`enforce_compile_gate` turns the rows into a pass/fail signal:
+compiled mode must be at least :data:`COMPILED_MIN_SPEEDUP` times faster
+than interpreted on every pattern class, indexed mode at least
+:data:`INDEXED_MIN_SPEEDUP` times faster on the join-heavy class (where
+it must actually have pruned candidates), and every mode must reproduce
+the reference match set exactly.  CI runs this on the stocks workload
+and fails the build on any violation, so the compiled hot path cannot
+silently regress into "correct but no faster than the interpreter".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compile import COMPILE_MODES
+from repro.engine import AdaptiveCEPEngine
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import (
+    build_dataset,
+    build_planner,
+    build_policy,
+    build_workload,
+)
+from repro.streaming.sinks import match_record
+
+#: Minimum compiled-over-interpreted speedup on every pattern class.
+COMPILED_MIN_SPEEDUP = 1.3
+
+#: Minimum indexed-over-interpreted speedup on the join-heavy class.
+INDEXED_MIN_SPEEDUP = 2.0
+
+#: Name of the join-heavy pattern class the indexed gate applies to.
+JOIN_CLASS = "keyed-join"
+
+
+def _default_spec() -> PolicySpec:
+    return PolicySpec("invariant", distance=0.1, label="invariant")
+
+
+def _pattern_classes(
+    config: ExperimentConfig, size: int, entities: int
+) -> List[Tuple[str, object, list]]:
+    """The (class name, pattern, recorded events) triples every mode replays."""
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    sequence_pattern = workload.sequence_pattern(size)
+    sequence_events = dataset.generate(
+        duration=config.duration,
+        seed=config.stream_seed,
+        max_events=config.max_events,
+    ).to_list()
+    keyed_pattern, keyed_stream = workload.keyed_workload(
+        size,
+        duration=config.duration,
+        entities=entities,
+        seed=config.stream_seed,
+        max_events=config.max_events,
+    )
+    return [
+        ("sequence", sequence_pattern, sequence_events),
+        (JOIN_CLASS, keyed_pattern, keyed_stream.to_list()),
+    ]
+
+
+def _run_mode(
+    config: ExperimentConfig, pattern, events, spec: PolicySpec, mode: str
+):
+    """One timed replay; returns ``(seconds, sorted records, counters)``."""
+    engine = AdaptiveCEPEngine(
+        pattern,
+        build_planner(config.algorithm),
+        build_policy(spec),
+        monitoring_interval=config.monitoring_interval,
+        compile_mode=mode,
+    )
+    batch_size = max(1, config.batch_size)
+    matches = []
+    started = time.perf_counter()
+    for start in range(0, len(events), batch_size):
+        matches.extend(engine.process_batch(events[start : start + batch_size]))
+    seconds = time.perf_counter() - started
+    counters = engine.migration_manager.total_counters()
+    records = sorted(json.dumps(match_record(match)) for match in matches)
+    return seconds, records, counters
+
+
+def compile_mode_rows(
+    config: ExperimentConfig,
+    size: int = 3,
+    entities: int = 8,
+    trials: int = 1,
+    modes: Sequence[str] = COMPILE_MODES,
+    policy_spec: Optional[PolicySpec] = None,
+) -> List[Dict[str, object]]:
+    """One row per (pattern class, compile mode): time, speedup, verdict.
+
+    The interpreted run is always measured first (after one unmeasured
+    warmup per class) and its sorted match records become the reference
+    every other mode is compared against byte-for-byte.  With
+    ``trials > 1`` each mode keeps its fastest trial — the variance of a
+    loaded CI box should not fail the gate.
+    """
+    if trials < 1:
+        raise ValueError("compile bench needs at least one trial per mode")
+    spec = policy_spec or _default_spec()
+    ordered_modes = ["interpreted"] + [m for m in modes if m != "interpreted"]
+    rows: List[Dict[str, object]] = []
+    for class_name, pattern, events in _pattern_classes(config, size, entities):
+        # One unmeasured warmup (imports, allocator, branch caches).
+        _run_mode(config, pattern, events, spec, "interpreted")
+        reference: List[str] = []
+        baseline_seconds = 0.0
+        for mode in ordered_modes:
+            best_seconds = float("inf")
+            records: List[str] = []
+            counters = None
+            for _ in range(int(trials)):
+                seconds, records, counters = _run_mode(
+                    config, pattern, events, spec, mode
+                )
+                best_seconds = min(best_seconds, seconds)
+            if mode == "interpreted":
+                reference = records
+                baseline_seconds = best_seconds
+            rows.append(
+                {
+                    "dataset": config.dataset,
+                    "algorithm": config.algorithm,
+                    "pattern_class": class_name,
+                    "size": size,
+                    "mode": mode,
+                    "events": float(len(events)),
+                    "seconds": best_seconds,
+                    "throughput": (
+                        len(events) / best_seconds if best_seconds > 0 else 0.0
+                    ),
+                    "speedup": (
+                        baseline_seconds / best_seconds if best_seconds > 0 else 0.0
+                    ),
+                    "matches": float(len(records)),
+                    "matches_expected": float(len(reference)),
+                    "matches_ok": float(records == reference),
+                    "candidates_pruned": float(counters.candidates_pruned),
+                }
+            )
+    return rows
+
+
+def enforce_compile_gate(rows: List[Dict[str, object]]) -> List[str]:
+    """Gate violations (empty = the build may pass).
+
+    * every mode must reproduce the interpreted match set byte-for-byte;
+    * compiled mode must reach :data:`COMPILED_MIN_SPEEDUP` on every
+      pattern class;
+    * indexed mode must reach :data:`INDEXED_MIN_SPEEDUP` on the
+      join-heavy class, and must actually have pruned candidates there
+      (a no-op index that merely matches compiled speed is a regression).
+    """
+    problems: List[str] = []
+    by_class: Dict[str, Dict[str, Dict[str, object]]] = {}
+    for row in rows:
+        by_class.setdefault(str(row["pattern_class"]), {})[str(row["mode"])] = row
+    if not by_class:
+        return ["the gate needs at least one pattern class of rows"]
+    for class_name, by_mode in sorted(by_class.items()):
+        for mode in ("interpreted", "compiled", "indexed"):
+            if mode not in by_mode:
+                problems.append(f"{class_name}: missing a {mode}-mode row")
+        for mode, row in sorted(by_mode.items()):
+            if row["matches_ok"] != 1.0:
+                problems.append(
+                    f"{class_name}/{mode} detected {row['matches']:.0f} matches, "
+                    f"expected {row['matches_expected']:.0f} — compilation "
+                    "changed the match set"
+                )
+        compiled = by_mode.get("compiled")
+        if compiled is not None and compiled["speedup"] < COMPILED_MIN_SPEEDUP:
+            problems.append(
+                f"{class_name}: compiled speedup {compiled['speedup']:.2f}x is "
+                f"below the {COMPILED_MIN_SPEEDUP:g}x floor"
+            )
+        indexed = by_mode.get("indexed")
+        if class_name == JOIN_CLASS and indexed is not None:
+            if indexed["speedup"] < INDEXED_MIN_SPEEDUP:
+                problems.append(
+                    f"{class_name}: indexed speedup {indexed['speedup']:.2f}x is "
+                    f"below the {INDEXED_MIN_SPEEDUP:g}x floor"
+                )
+            if indexed["candidates_pruned"] <= 0:
+                problems.append(
+                    f"{class_name}: indexed mode pruned no candidates — the "
+                    "equality index never engaged"
+                )
+    return problems
+
+
+def bench_report(rows: List[Dict[str, object]], problems: List[str]) -> Dict:
+    """The JSON document the CLI writes as ``BENCH_compile.json``."""
+    return {
+        "bench": "compile",
+        "gate": {
+            "compiled_min_speedup": COMPILED_MIN_SPEEDUP,
+            "indexed_min_speedup": INDEXED_MIN_SPEEDUP,
+            "join_class": JOIN_CLASS,
+            "passed": not problems,
+            "problems": list(problems),
+        },
+        "rows": rows,
+    }

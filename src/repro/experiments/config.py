@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
@@ -74,6 +74,7 @@ class ExperimentConfig:
     backend: str = "inline"
     workers: int = 0
     introspect: bool = False
+    compile_mode: str = "interpreted"
 
     def __post_init__(self) -> None:
         if self.algorithm not in ("greedy", "zstream"):
@@ -99,6 +100,11 @@ class ExperimentConfig:
             )
         if self.workers < 0:
             raise ExperimentError("workers must be non-negative (0 = use shards)")
+        if self.compile_mode not in ("interpreted", "compiled", "indexed"):
+            raise ExperimentError(
+                f"unknown compile_mode {self.compile_mode!r}; expected "
+                "'interpreted', 'compiled' or 'indexed'"
+            )
 
     @property
     def effective_workers(self) -> int:

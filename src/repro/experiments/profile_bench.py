@@ -71,6 +71,7 @@ def _build_engine(
         build_policy(spec),
         monitoring_interval=config.monitoring_interval,
         introspect=introspect,
+        compile_mode=config.compile_mode,
     )
 
 

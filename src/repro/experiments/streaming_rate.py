@@ -67,6 +67,7 @@ def build_streaming_engine(
             partitioner=build_partitioner(config.partition_by),
             monitoring_interval=config.monitoring_interval,
             introspect=config.introspect,
+            compile_mode=config.compile_mode,
         )
         return backend_by_name(config.backend, engine)
     if config.shards > 1:
@@ -78,6 +79,7 @@ def build_streaming_engine(
             partitioner=build_partitioner(config.partition_by),
             monitoring_interval=config.monitoring_interval,
             introspect=config.introspect,
+            compile_mode=config.compile_mode,
         )
     return AdaptiveCEPEngine(
         pattern,
@@ -85,6 +87,7 @@ def build_streaming_engine(
         policy,
         monitoring_interval=config.monitoring_interval,
         introspect=config.introspect,
+        compile_mode=config.compile_mode,
     )
 
 

@@ -45,6 +45,8 @@ from repro.statistics.collector import pairs_for_pattern
 from repro.statistics.snapshot import pair_key
 
 __all__ = [
+    "condition_key",
+    "condition_label",
     "ConditionProfile",
     "ProfiledCondition",
     "EdgeProfile",
@@ -61,6 +63,19 @@ def condition_label(condition: Condition) -> str:
     if isinstance(condition, ProfiledCondition):
         return condition.profile.label
     return repr(condition)
+
+
+def condition_key(condition: Condition) -> str:
+    """Stable *unique* identity of one atomic conjunct (profile dict key).
+
+    Delegates to :meth:`~repro.conditions.Condition.cache_key`, so two
+    distinct conditions whose reprs collide (e.g. two different lambdas
+    named ``predicate``) keep separate profiles, while the compiled-kernel
+    cache and the profiler agree on what "the same condition" means.
+    """
+    if isinstance(condition, ProfiledCondition):
+        return condition.inner.cache_key()
+    return condition.cache_key()
 
 
 class ConditionProfile:
@@ -139,6 +154,9 @@ class ProfiledCondition(Condition):
     def is_fully_bound(self, binding: Mapping[str, object]) -> bool:
         return self.inner.is_fully_bound(binding)
 
+    def cache_key(self) -> str:
+        return self.inner.cache_key()
+
     def flatten(self) -> Sequence[Condition]:
         return (self,)
 
@@ -187,9 +205,12 @@ class EngineProfiler:
     One profiler is shared across every evaluation engine an adaptive
     engine builds (the initial plan and each re-plan), so the counters
     survive plan replacement and describe the pattern's whole lifetime.
-    Condition profiles are keyed by the conjunct's ``repr`` — stable
-    across plan generations because reoptimization reorders the *plan*,
-    never rewrites the WHERE clause.
+    Condition profiles are keyed by the conjunct's ``cache_key()`` —
+    stable across plan generations because reoptimization reorders the
+    *plan*, never rewrites the WHERE clause, and unique even when two
+    different conditions share a ``repr`` (the display label).  Compiled
+    kernels (:mod:`repro.compile`) update the *same* profile objects, so
+    a profile row aggregates interpreted and compiled evaluations alike.
 
     All state is plain ints/floats/dicts: profilers travel inside engine
     snapshots to worker processes and back without special handling.
@@ -205,11 +226,11 @@ class EngineProfiler:
     # Installation (plan-build time)
     # ------------------------------------------------------------------
     def profile_for(self, condition: Condition) -> ConditionProfile:
-        label = condition_label(condition)
-        profile = self.conditions.get(label)
+        key = condition_key(condition)
+        profile = self.conditions.get(key)
         if profile is None:
-            profile = self.conditions[label] = ConditionProfile(
-                label, condition.variables
+            profile = self.conditions[key] = ConditionProfile(
+                condition_label(condition), condition.variables
             )
         return profile
 

@@ -81,7 +81,8 @@ class ParallelCEPEngine:
         :class:`SerialExecutor`.
     batch_size:
         Events per ingestion batch (chunked dispatch to the shards).
-    statistics_provider / initial_snapshot / monitoring_interval / introspect:
+    statistics_provider / initial_snapshot / monitoring_interval / introspect /
+    compile_mode:
         Forwarded to every shard's engine replica.
     validate_partitioning:
         When true (default), the partitioner's safety check runs against
@@ -102,6 +103,7 @@ class ParallelCEPEngine:
         monitoring_interval: float = 1.0,
         validate_partitioning: bool = True,
         introspect: bool = False,
+        compile_mode: str = "interpreted",
     ):
         self.pattern = pattern
         self._partitioner = partitioner or BroadcastPartitioner()
@@ -118,6 +120,7 @@ class ParallelCEPEngine:
             initial_snapshot=initial_snapshot,
             monitoring_interval=monitoring_interval,
             introspect=introspect,
+            compile_mode=compile_mode,
         )
         # Lazily created on first process() call (streaming ingestion).
         self._streaming_dedup: Optional[StreamingMatchDeduplicator] = None

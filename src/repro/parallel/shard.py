@@ -112,9 +112,8 @@ class Shard:
         (:mod:`repro.streaming.ordering`) before events are partitioned
         into the shard queues.
         """
-        matches: List[Match] = []
-        for event in events:
-            matches.extend(self.engine.process(event))
+        events = list(events)
+        matches = self.engine.process_batch(events)
         self.events_fed += len(events)
         self.matches_found += len(matches)
         return matches
@@ -160,6 +159,7 @@ class ShardedEngine:
         initial_snapshot: Optional[StatisticsSnapshot] = None,
         monitoring_interval: float = 1.0,
         introspect: bool = False,
+        compile_mode: str = "interpreted",
     ):
         if num_shards < 1:
             raise ParallelExecutionError(
@@ -178,6 +178,7 @@ class ShardedEngine:
                     initial_snapshot,
                     monitoring_interval,
                     introspect=introspect,
+                    compile_mode=compile_mode,
                 ),
             )
             for shard_id in range(self._num_shards)
@@ -242,6 +243,7 @@ def build_replica(
     initial_snapshot: Optional[StatisticsSnapshot],
     monitoring_interval: float,
     introspect: bool = False,
+    compile_mode: str = "interpreted",
 ) -> EngineLike:
     """One fresh engine with private planner/policy copies."""
     replica_planner = copy.deepcopy(planner)
@@ -255,6 +257,7 @@ def build_replica(
             initial_snapshot=initial_snapshot,
             monitoring_interval=monitoring_interval,
             introspect=introspect,
+            compile_mode=compile_mode,
         )
     return AdaptiveCEPEngine(
         pattern,
@@ -264,4 +267,5 @@ def build_replica(
         initial_snapshot=initial_snapshot,
         monitoring_interval=monitoring_interval,
         introspect=introspect,
+        compile_mode=compile_mode,
     )

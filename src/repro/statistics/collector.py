@@ -130,6 +130,26 @@ class StatisticsCollector:
             return
         estimator.observe(timestamp, success)
 
+    def observe_condition_bulk(
+        self,
+        a: str,
+        b: str,
+        timestamp: float,
+        attempts: float,
+        successes: float = 0.0,
+    ) -> None:
+        """Record many evaluations of one condition pair in a single update.
+
+        Used by the compiled/columnar hot path: a kernel that adjudicated a
+        whole batch (or an index probe that pruned a whole bucket of
+        candidate pairings) reports aggregate counts instead of paying one
+        estimator update per pairing.
+        """
+        estimator = self._selectivity_estimators.get(pair_key(a, b))
+        if estimator is None:
+            return
+        estimator.observe_many(timestamp, attempts, successes)
+
     def advance_time(self, timestamp: float) -> None:
         """Advance all estimators' clocks without new observations."""
         self._advance(timestamp)

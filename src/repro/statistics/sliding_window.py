@@ -220,6 +220,26 @@ class SlidingSelectivityEstimator:
         else:
             self._successes.advance(timestamp)
 
+    def observe_many(
+        self, timestamp: float, attempts: float, successes: float = 0.0
+    ) -> None:
+        """Record a batch of evaluations sharing one timestamp in O(1).
+
+        The bucketed counters already accumulate arbitrary amounts, so a
+        columnar kernel or an index probe that adjudicated ``attempts``
+        pairings at once (``successes`` of which held) reports them in a
+        single update instead of one call per pairing.
+        """
+        if attempts < successes:
+            raise StatisticsError("successes cannot exceed attempts")
+        if attempts <= 0:
+            return
+        self._attempts.add(timestamp, attempts)
+        if successes > 0:
+            self._successes.add(timestamp, successes)
+        else:
+            self._successes.advance(timestamp)
+
     def advance(self, timestamp: float) -> None:
         """Advance time so stale evaluations drop out of the window."""
         self._attempts.advance(timestamp)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.experiments.cli import build_parser, main
@@ -62,6 +64,22 @@ class TestParser:
         args = build_parser().parse_args(["stream-bench", "--rates", "0,5000"])
         assert args.rates == "0,5000"
         assert args.size == 3
+
+    def test_compile_bench_defaults(self):
+        args = build_parser().parse_args(["compile-bench"])
+        assert args.size == 3
+        assert args.entities == 8
+        assert args.trials == 1
+        assert args.json == "BENCH_compile.json"
+        assert args.enforce is False
+
+    def test_compile_mode_option(self):
+        args = build_parser().parse_args(["serve", "--compile-mode", "indexed"])
+        assert args.compile_mode == "indexed"
+
+    def test_invalid_compile_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--compile-mode", "jit"])
 
 
 class TestExecution:
@@ -156,6 +174,43 @@ class TestExecution:
         capsys.readouterr()
         assert main(serve_args) == 0
         assert "resumed from event 600" in capsys.readouterr().out
+
+    def test_compile_bench_runs_and_reports_gate(self, capsys, tmp_path):
+        json_path = tmp_path / "bench.json"
+        csv_path = tmp_path / "bench.csv"
+        exit_code = main(
+            [
+                "compile-bench",
+                "--dataset",
+                "stocks",
+                "--duration",
+                "20",
+                "--max-events",
+                "800",
+                "--size",
+                "3",
+                "--monitoring-interval",
+                "2",
+                "--json",
+                str(json_path),
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert csv_path.exists()
+        report = json.loads(json_path.read_text())
+        assert report["bench"] == "compile"
+        assert {row["mode"] for row in report["rows"]} == {
+            "interpreted",
+            "compiled",
+            "indexed",
+        }
+        # Tiny workloads make speed gates noisy, but byte-identical matches
+        # must hold at any size.
+        assert all(row["matches_ok"] == 1.0 for row in report["rows"])
 
     def test_stream_bench_runs(self, capsys, tmp_path):
         csv_path = tmp_path / "rates.csv"

@@ -18,6 +18,11 @@ compared.  Sorting removes the one legitimate difference (emission order
 across shards); everything else — bindings, timestamps, sequence numbers,
 detection times — must agree exactly.
 
+The compile-mode differential re-runs all seven execution modes with
+``compile_mode="compiled"`` and ``"indexed"`` (see :mod:`repro.compile`):
+lowering conditions into specialized kernels and pruning join candidates
+through equality indexes must leave every byte of the match set alone.
+
 The disorder differential extends the same invariant to out-of-order
 arrival: each workload is shuffled within a bounded slack
 (:func:`~repro.streaming.bounded_shuffle`) and re-run through every mode
@@ -82,7 +87,7 @@ def _policy():
     return InvariantBasedPolicy()
 
 
-def _parallel(pattern, partitioner, executor=None):
+def _parallel(pattern, partitioner, executor=None, compile_mode="interpreted"):
     return ParallelCEPEngine(
         pattern,
         _planner(),
@@ -90,56 +95,77 @@ def _parallel(pattern, partitioner, executor=None):
         shards=SHARDS,
         partitioner=partitioner,
         executor=executor,
+        compile_mode=compile_mode,
     )
 
 
 # ----------------------------------------------------------------------
 # Execution modes
 # ----------------------------------------------------------------------
-def run_sequential(pattern, events, partitioner):
-    engine = AdaptiveCEPEngine(pattern, _planner(), _policy())
+def run_sequential(pattern, events, partitioner, compile_mode="interpreted"):
+    engine = AdaptiveCEPEngine(
+        pattern, _planner(), _policy(), compile_mode=compile_mode
+    )
     return engine.run(events).matches
 
 
-def run_batch_serial(pattern, events, partitioner):
-    return _parallel(pattern, partitioner, SerialExecutor()).run(events).matches
+def run_batch_serial(pattern, events, partitioner, compile_mode="interpreted"):
+    engine = _parallel(
+        pattern, partitioner, SerialExecutor(), compile_mode=compile_mode
+    )
+    return engine.run(events).matches
 
 
-def run_batch_multiprocess(pattern, events, partitioner):
+def run_batch_multiprocess(pattern, events, partitioner, compile_mode="interpreted"):
     executor = MultiprocessExecutor(max_workers=SHARDS)
-    return _parallel(pattern, partitioner, executor).run(events).matches
+    engine = _parallel(pattern, partitioner, executor, compile_mode=compile_mode)
+    return engine.run(events).matches
 
 
-def run_pipeline_inline(pattern, events, partitioner, **pipeline_kwargs):
+def run_pipeline_inline(
+    pattern, events, partitioner, compile_mode="interpreted", **pipeline_kwargs
+):
     sink = CollectorSink()
-    engine = AdaptiveCEPEngine(pattern, _planner(), _policy())
+    engine = AdaptiveCEPEngine(
+        pattern, _planner(), _policy(), compile_mode=compile_mode
+    )
     StreamingPipeline(
         engine, ReplaySource(events), sinks=[sink], **pipeline_kwargs
     ).run()
     return sink.matches
 
 
-def run_pipeline_inline_sharded(pattern, events, partitioner, **pipeline_kwargs):
+def run_pipeline_inline_sharded(
+    pattern, events, partitioner, compile_mode="interpreted", **pipeline_kwargs
+):
     sink = CollectorSink()
-    engine = _parallel(pattern, partitioner)
+    engine = _parallel(pattern, partitioner, compile_mode=compile_mode)
     StreamingPipeline(
         engine, ReplaySource(events), sinks=[sink], **pipeline_kwargs
     ).run()
     return sink.matches
 
 
-def run_pipeline_thread_workers(pattern, events, partitioner, **pipeline_kwargs):
+def run_pipeline_thread_workers(
+    pattern, events, partitioner, compile_mode="interpreted", **pipeline_kwargs
+):
     sink = CollectorSink()
-    backend = ThreadWorkerBackend(_parallel(pattern, partitioner), feed_batch=16)
+    backend = ThreadWorkerBackend(
+        _parallel(pattern, partitioner, compile_mode=compile_mode), feed_batch=16
+    )
     StreamingPipeline(
         backend, ReplaySource(events), sinks=[sink], **pipeline_kwargs
     ).run()
     return sink.matches
 
 
-def run_pipeline_process_workers(pattern, events, partitioner, **pipeline_kwargs):
+def run_pipeline_process_workers(
+    pattern, events, partitioner, compile_mode="interpreted", **pipeline_kwargs
+):
     sink = CollectorSink()
-    backend = ProcessWorkerBackend(_parallel(pattern, partitioner), feed_batch=16)
+    backend = ProcessWorkerBackend(
+        _parallel(pattern, partitioner, compile_mode=compile_mode), feed_batch=16
+    )
     StreamingPipeline(
         backend, ReplaySource(events), sinks=[sink], **pipeline_kwargs
     ).run()
@@ -215,6 +241,34 @@ def test_mode_equals_sequential_reference(references, workload_name, mode_name):
     assert _records(matches) == reference, (
         f"{mode_name} diverged from the sequential reference on "
         f"{workload_name}: {len(matches)} matches vs {len(reference)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Compile-mode differential: compiled kernels change speed, never matches
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("workload_name", sorted(WORKLOADS))
+@pytest.mark.parametrize("mode_name", ["sequential"] + sorted(MODES))
+@pytest.mark.parametrize("compile_mode", ["compiled", "indexed"])
+def test_compile_mode_equals_interpreted_reference(
+    references, workload_name, mode_name, compile_mode
+):
+    """3 compile modes x 7 execution modes, one byte-identical match set.
+
+    The interpreted reference is the module fixture; this parametrization
+    re-runs every execution mode with plan-compiled kernels (and, in
+    ``indexed`` mode, equality-index pruning) and demands the exact same
+    sorted JSON records.  The worker-backend modes double as a pickling
+    check: compiled engines cross the process boundary by shipping the
+    compilation *recipe* and rebuilding kernels on the other side.
+    """
+    pattern, events, partitioner, reference = references[workload_name]
+    runner = run_sequential if mode_name == "sequential" else MODES[mode_name]
+    matches = runner(pattern, events, partitioner, compile_mode=compile_mode)
+    assert _records(matches) == reference, (
+        f"{mode_name} in {compile_mode} mode diverged from the interpreted "
+        f"reference on {workload_name}: {len(matches)} matches vs "
+        f"{len(reference)}"
     )
 
 
