@@ -29,6 +29,7 @@ from repro.compile.plan_kernels import (
     COMPILE_MODES,
     CompiledPlanKernels,
     StepKernels,
+    kernels_reused_total,
     plans_compiled_total,
     validate_compile_mode,
 )
@@ -45,6 +46,7 @@ __all__ = [
     "compile_local_kernel",
     "compile_step_kernel",
     "find_equality_index_spec",
+    "kernels_reused_total",
     "plans_compiled_total",
     "report_pairs_for",
     "specialization_counts",

@@ -46,6 +46,7 @@ __all__ = [
     "COMPILE_MODES",
     "CompiledPlanKernels",
     "StepKernels",
+    "kernels_reused_total",
     "plans_compiled_total",
     "validate_compile_mode",
 ]
@@ -61,6 +62,42 @@ _PLANS_COMPILED = 0
 def plans_compiled_total() -> int:
     """How many plan compilations have run in this process."""
     return _PLANS_COMPILED
+
+
+#: Process-wide cache of lowered condition kernels, keyed by
+#: ``(shape, variable, condition.cache_key())``.  Kernels are pure
+#: closures over immutable conditions, so identical conditions — common
+#: in multi-pattern serving, where many registered patterns repeat the
+#: same predicates — compile once and are shared across plans and
+#: engines.  Opaque conditions carry per-instance cache keys, so only
+#: provably identical predicates ever share.  Profiled kernels are never
+#: cached (the profile wrapper is per-condition-instance).
+_KERNEL_CACHE: Dict[Tuple, CompiledKernel] = {}
+_KERNEL_CACHE_CAP = 4096
+_KERNELS_REUSED = 0
+
+
+def kernels_reused_total() -> int:
+    """How many kernel compilations were avoided by the shared cache."""
+    return _KERNELS_REUSED
+
+
+def _cached_kernel(shape: str, condition, variable: str, profile, build):
+    global _KERNELS_REUSED
+    if profile is not None:
+        return build()
+    try:
+        key = (shape, variable, repr(condition.cache_key()))
+    except Exception:
+        return build()
+    kernel = _KERNEL_CACHE.get(key)
+    if kernel is not None:
+        _KERNELS_REUSED += 1
+        return kernel
+    kernel = build()
+    if len(_KERNEL_CACHE) < _KERNEL_CACHE_CAP:
+        _KERNEL_CACHE[key] = kernel
+    return kernel
 
 
 def validate_compile_mode(mode: str) -> str:
@@ -143,10 +180,21 @@ class CompiledPlanKernels:
         for item in pattern.positive_items:
             variable = item.variable
             self.variable_types[variable] = item.event_type.name
-            self.local_kernels[variable] = tuple(
-                compile_local_kernel(c, variable, self._profile_for(c))
-                for c in conditions.single_variable_conditions(variable)
-            )
+            local_kernels = []
+            for c in conditions.single_variable_conditions(variable):
+                profile = self._profile_for(c)
+                local_kernels.append(
+                    _cached_kernel(
+                        "local",
+                        c,
+                        variable,
+                        profile,
+                        lambda c=c, v=variable, p=profile: compile_local_kernel(
+                            c, v, p
+                        ),
+                    )
+                )
+            self.local_kernels[variable] = tuple(local_kernels)
 
         self.steps: Optional[List[StepKernels]] = None
         self.join_kernels: Optional[Dict[int, Tuple[CompiledKernel, ...]]] = None
@@ -167,9 +215,21 @@ class CompiledPlanKernels:
         for position, variable in enumerate(plan.order):
             bound = plan.order[:position]
             newly = conditions.newly_applicable(bound, variable)
-            kernels = tuple(
-                compile_step_kernel(c, variable, self._profile_for(c)) for c in newly
-            )
+            step_kernels = []
+            for c in newly:
+                profile = self._profile_for(c)
+                step_kernels.append(
+                    _cached_kernel(
+                        "step",
+                        c,
+                        variable,
+                        profile,
+                        lambda c=c, v=variable, p=profile: compile_step_kernel(
+                            c, v, p
+                        ),
+                    )
+                )
+            kernels = tuple(step_kernels)
             order_checks: Tuple[Tuple[str, bool], ...] = ()
             if is_sequence:
                 here = pattern.positive_index(variable)

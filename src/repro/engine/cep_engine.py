@@ -118,6 +118,17 @@ class AdaptiveCEPEngine:
         ``"compiled"`` (plan-build-time condition kernels) or
         ``"indexed"`` (kernels plus equality-predicate candidate
         indexes).  All modes emit byte-identical matches.
+    statistics_collector:
+        Externally owned collector to use instead of building one.  The
+        multi-pattern evaluator passes per-pattern collectors that read
+        shared per-event-type estimators, so N patterns over one stream
+        count every arrival exactly once.
+    engine_factory:
+        Callable ``(plan, collector, profiler, compile_mode) -> engine``
+        replacing :func:`engine_for_plan` for every evaluation engine this
+        facade builds (initial and post-adaptation).  The multi-pattern
+        evaluator uses it to route plans with shareable prefixes into
+        shared-prefix groups.
     """
 
     def __init__(
@@ -131,6 +142,8 @@ class AdaptiveCEPEngine:
         statistics_window: Optional[float] = None,
         introspect: bool = False,
         compile_mode: str = "interpreted",
+        statistics_collector: Optional[StatisticsCollector] = None,
+        engine_factory=None,
     ):
         if monitoring_interval <= 0:
             raise EngineError("monitoring_interval must be positive")
@@ -140,11 +153,15 @@ class AdaptiveCEPEngine:
         self._provider = statistics_provider
         self._monitoring_interval = float(monitoring_interval)
         self.compile_mode = validate_compile_mode(compile_mode)
+        self._engine_factory = engine_factory
 
         window = pattern.window if pattern.window != float("inf") else 100.0
-        self._collector = StatisticsCollector(
-            window=statistics_window or 5.0 * window
-        )
+        if statistics_collector is not None:
+            self._collector = statistics_collector
+        else:
+            self._collector = StatisticsCollector(
+                window=statistics_window or 5.0 * window
+            )
         self._collector.register_pattern(pattern)
 
         self._profiler = None
@@ -165,15 +182,19 @@ class AdaptiveCEPEngine:
         self.controller.drift_monitor = self._drift
         if self._drift is not None:
             self._drift.record_plan(self.controller.current_result, pattern)
-        initial_engine = engine_for_plan(
-            self.controller.current_plan,
+        initial_engine = self._build_engine(self.controller.current_plan)
+        self._migration = PlanMigrationManager(initial_engine, window=window)
+        self._next_monitor_time: Optional[float] = None
+        self._plan_history: List[str] = [self.controller.current_plan.describe()]
+
+    def _build_engine(self, plan: EvaluationPlan) -> EvaluationEngine:
+        factory = self._engine_factory or engine_for_plan
+        return factory(
+            plan,
             self._collector,
             profiler=self._profiler,
             compile_mode=self.compile_mode,
         )
-        self._migration = PlanMigrationManager(initial_engine, window=window)
-        self._next_monitor_time: Optional[float] = None
-        self._plan_history: List[str] = [self.controller.current_plan.describe()]
 
     # ------------------------------------------------------------------
     # Introspection
@@ -201,6 +222,10 @@ class AdaptiveCEPEngine:
     def partial_match_count(self) -> int:
         """Live partial matches across the active and draining engines."""
         return self._migration.partial_match_count()
+
+    def evaluation_engines(self) -> List[EvaluationEngine]:
+        """All live evaluation engines (active first, then draining)."""
+        return self._migration.engines()
 
     @property
     def profiler(self):
@@ -252,6 +277,16 @@ class AdaptiveCEPEngine:
     # ------------------------------------------------------------------
     # State snapshot / restore (checkpointing support)
     # ------------------------------------------------------------------
+    def __getstate__(self):
+        # An injected engine factory (the multi-pattern share manager) is
+        # a view onto shared state owned elsewhere — never serialize it
+        # through a per-pattern frame.  MultiPatternEngine re-installs it
+        # after restore; a standalone restore degrades gracefully to the
+        # default factory.
+        state = dict(self.__dict__)
+        state["_engine_factory"] = None
+        return state
+
     def snapshot_state(self) -> bytes:
         """Serialize the full engine state (partial matches, statistics,
         adaptation state) so processing can later resume exactly where it
@@ -359,16 +394,29 @@ class AdaptiveCEPEngine:
             self._drift.observe(snapshot)
         new_plan = self.controller.update(snapshot)
         if new_plan is not None:
-            new_engine = engine_for_plan(
-                new_plan,
-                self._collector,
-                profiler=self._profiler,
-                compile_mode=self.compile_mode,
-            )
+            new_engine = self._build_engine(new_plan)
             self._migration.switch_to(new_engine, switch_time=now)
             self._plan_history.append(new_plan.describe())
             if self._drift is not None:
                 self._drift.record_plan(self.controller.current_result, self.pattern)
+        elif self._engine_factory is not None:
+            # The policy keeps the plan, but a sharing-aware factory (the
+            # multi-pattern prefix-share manager) may have accumulated rate
+            # evidence that now scores this pattern into a shared-prefix
+            # group.  Rebuilding the engine for the *same* plan routes it
+            # through the factory again; the ordinary migration contract
+            # keeps the match set identical across the switch.
+            resharing = getattr(self._engine_factory, "wants_resharing", None)
+            if resharing is not None and resharing(
+                self.controller.current_plan,
+                self._migration.active_engine,
+                self._collector,
+            ):
+                new_engine = self._build_engine(self.controller.current_plan)
+                self._migration.switch_to(new_engine, switch_time=now)
+                self._plan_history.append(
+                    f"{self.controller.current_plan.describe()} [shared-prefix rewire]"
+                )
 
     # ------------------------------------------------------------------
     # Whole-stream API

@@ -127,19 +127,26 @@ class Match:
         Final variable bindings (Kleene variables bind to lists of events).
     detection_time:
         Stream time at which the match was emitted.
+    pattern_id:
+        Stable id of the originating pattern (defaults to the pattern
+        name).  Multi-pattern serving re-tags matches with the
+        :class:`~repro.multi.PatternSet` registry id so sinks and decision
+        logs keep provenance across the union output.
     """
 
-    __slots__ = ("pattern_name", "bindings", "detection_time")
+    __slots__ = ("pattern_name", "bindings", "detection_time", "pattern_id")
 
     def __init__(
         self,
         pattern_name: str,
         bindings: Mapping[str, BindingValue],
         detection_time: float,
+        pattern_id: Optional[str] = None,
     ):
         self.pattern_name = pattern_name
         self.bindings = dict(bindings)
         self.detection_time = float(detection_time)
+        self.pattern_id = pattern_id if pattern_id is not None else pattern_name
 
     def events(self) -> List[Event]:
         events: List[Event] = []

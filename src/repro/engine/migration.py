@@ -52,6 +52,10 @@ class PlanMigrationManager:
     def draining_count(self) -> int:
         return len(self._draining)
 
+    def engines(self) -> List[EvaluationEngine]:
+        """Live engines, active first then draining (oldest switch first)."""
+        return [self._active] + [engine for engine, _retirement in self._draining]
+
     def partial_match_count(self) -> int:
         total = self._active.partial_match_count()
         for engine, _retirement in self._draining:

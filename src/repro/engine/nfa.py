@@ -277,16 +277,28 @@ class LazyNFAEngine(EvaluationEngine):
         return extended
 
     def _extend_from_buffers(
-        self, new_matches: List[PartialMatch], current_event: Event, now: float
+        self,
+        new_matches: List[PartialMatch],
+        current_event: Event,
+        now: float,
+        first_level_min_ts: float = float("-inf"),
     ) -> List[PartialMatch]:
         """Recursively extend fresh partial matches with buffered history.
 
         Every partial match created along the way is also registered as
         "waiting" so that future events can extend it; complete bindings are
         returned for finalisation.
+
+        ``first_level_min_ts`` prunes buffered candidates at (or before)
+        that timestamp on the *first* frontier level only.  Injected
+        shared-prefix bindings use it: in a SEQ pattern every suffix event
+        must be strictly later than the prefix-completing event, so the
+        (usually exhaustive) scan over already-buffered suffix events can
+        be skipped without consulting the full ordering check.
         """
         completed: List[PartialMatch] = []
         frontier = list(new_matches)
+        level_min_ts = first_level_min_ts
         while frontier:
             next_frontier: List[PartialMatch] = []
             for partial in frontier:
@@ -306,12 +318,15 @@ class LazyNFAEngine(EvaluationEngine):
                         spec, next_variable, partial, now
                     )
                 for buffered in buffered_candidates:
+                    if buffered.timestamp <= level_min_ts:
+                        continue
                     if buffered is current_event or partial.contains_event(buffered):
                         continue
                     candidate = self._try_extend(partial, next_variable, buffered, now)
                     if candidate is not None:
                         next_frontier.append(candidate)
             frontier = next_frontier
+            level_min_ts = float("-inf")
         return completed
 
     def _probe_buffered(

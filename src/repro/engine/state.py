@@ -43,6 +43,14 @@ SHARD_SNAPSHOT_MAGIC = b"repro-shard-states"
 #: Bumped whenever the shard-frame layout changes incompatibly.
 SHARD_SNAPSHOT_VERSION = 1
 
+#: Frame prefix identifying a multi-pattern state blob (one engine blob per
+#: registered pattern plus the shared meta state — see
+#: :func:`snapshot_multi_state`).
+MULTI_SNAPSHOT_MAGIC = b"repro-multi-state"
+
+#: Bumped whenever the multi-pattern frame layout changes incompatibly.
+MULTI_SNAPSHOT_VERSION = 1
+
 #: Frame prefix identifying an in-flight ordering-stage blob (the reorder
 #: buffer plus staged events — see :func:`snapshot_ordering_state`).
 ORDERING_SNAPSHOT_MAGIC = b"repro-ordering-state"
@@ -64,12 +72,20 @@ def snapshot_engine(engine: object) -> bytes:
 
     Works for any of the engine facades — sequential, multi-pattern or the
     parallel sharded engine — because the whole object graph is captured.
+    Engines exposing ``multi_state_frames()`` (the multi-pattern engine)
+    are framed as per-pattern snapshots instead — see
+    :func:`snapshot_multi_state` — so individual pattern states stay
+    independently restorable.
     """
     if not callable(getattr(engine, "process", None)):
         raise CheckpointError(
             f"cannot snapshot {type(engine).__name__}: not an engine "
             "(no process() method)"
         )
+    frames_hook = getattr(engine, "multi_state_frames", None)
+    if callable(frames_hook):
+        meta_blob, frames = frames_hook()
+        return snapshot_multi_state(meta_blob, frames)
     try:
         payload = pickle.dumps(engine, protocol=pickle.HIGHEST_PROTOCOL)
     except Exception as exc:
@@ -87,6 +103,12 @@ def restore_engine(blob: bytes) -> object:
         raise CheckpointError(
             f"engine snapshot must be bytes, got {type(blob).__name__}"
         )
+    if is_multi_snapshot(blob):
+        # Multi-pattern frames restore through the multi-pattern engine,
+        # which re-wires the shared-prefix groups and statistics hub.
+        from repro.engine.multi_pattern import MultiPatternEngine
+
+        return MultiPatternEngine.restore_state(bytes(blob))
     prefix_length = len(SNAPSHOT_MAGIC) + 1
     if len(blob) <= prefix_length or not blob.startswith(SNAPSHOT_MAGIC):
         raise CheckpointError(
@@ -109,6 +131,76 @@ def restore_engine(blob: bytes) -> object:
             "engine (no process() method)"
         )
     return engine
+
+
+# ----------------------------------------------------------------------
+# Multi-pattern framing (per-pattern state frames inside one snapshot)
+# ----------------------------------------------------------------------
+def is_multi_snapshot(blob: bytes) -> bool:
+    """Whether ``blob`` is a :func:`snapshot_multi_state` frame."""
+    return isinstance(blob, (bytes, bytearray)) and bytes(blob).startswith(
+        MULTI_SNAPSHOT_MAGIC
+    )
+
+
+def snapshot_multi_state(meta_blob: bytes, frames: Dict[str, bytes]) -> bytes:
+    """Frame per-pattern engine blobs plus shared meta state into one blob.
+
+    ``frames`` maps each registered pattern's id to a
+    :func:`snapshot_engine` frame of its adaptive engine, so a single
+    pattern's state stays individually restorable with
+    :func:`restore_engine`.  ``meta_blob`` is the multi-pattern engine's
+    opaque shared state (pattern registry, shared-prefix groups with their
+    prefix engines, the statistics hub).
+    """
+    if not isinstance(meta_blob, (bytes, bytearray)):
+        raise CheckpointError(
+            f"multi snapshot meta must be bytes, got {type(meta_blob).__name__}"
+        )
+    frames = {key: bytes(frame) for key, frame in frames.items()}
+    for key, frame in frames.items():
+        if not frame.startswith(SNAPSHOT_MAGIC):
+            raise CheckpointError(
+                f"pattern frame {key!r} is not a snapshot_engine() frame"
+            )
+    try:
+        payload = pickle.dumps(
+            (bytes(meta_blob), frames), protocol=pickle.HIGHEST_PROTOCOL
+        )
+    except Exception as exc:  # pragma: no cover - frames are already bytes
+        raise CheckpointError(f"multi snapshot is not picklable: {exc}") from exc
+    header = MULTI_SNAPSHOT_MAGIC + bytes([MULTI_SNAPSHOT_VERSION])
+    return header + payload
+
+
+def restore_multi_state(blob: bytes) -> Tuple[bytes, Dict[str, bytes]]:
+    """Unframe a :func:`snapshot_multi_state` blob → ``(meta_blob, frames)``."""
+    if not isinstance(blob, (bytes, bytearray)):
+        raise CheckpointError(
+            f"multi snapshot must be bytes, got {type(blob).__name__}"
+        )
+    blob = bytes(blob)
+    prefix_length = len(MULTI_SNAPSHOT_MAGIC) + 1
+    if len(blob) <= prefix_length or not blob.startswith(MULTI_SNAPSHOT_MAGIC):
+        raise CheckpointError(
+            "not a multi-pattern snapshot (bad magic); was this blob produced "
+            "by snapshot_multi_state()?"
+        )
+    version = blob[len(MULTI_SNAPSHOT_MAGIC)]
+    if version != MULTI_SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"multi-pattern snapshot version {version} is not supported by "
+            f"this library build (expected {MULTI_SNAPSHOT_VERSION})"
+        )
+    try:
+        meta_blob, frames = pickle.loads(blob[prefix_length:])
+    except Exception as exc:
+        raise CheckpointError(f"corrupt multi-pattern snapshot: {exc}") from exc
+    if not isinstance(meta_blob, bytes) or not isinstance(frames, dict):
+        raise CheckpointError(
+            "multi-pattern snapshot decoded to an unexpected layout"
+        )
+    return meta_blob, frames
 
 
 # ----------------------------------------------------------------------
@@ -138,7 +230,9 @@ def snapshot_shard_states(
     if not blobs:
         raise CheckpointError("a shard snapshot needs at least one shard blob")
     for index, blob in enumerate(blobs):
-        if not blob.startswith(SNAPSHOT_MAGIC):
+        if not blob.startswith(SNAPSHOT_MAGIC) and not blob.startswith(
+            MULTI_SNAPSHOT_MAGIC
+        ):
             raise CheckpointError(
                 f"shard {index} blob is not a snapshot_engine() frame"
             )

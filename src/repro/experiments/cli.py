@@ -62,6 +62,12 @@ from repro.experiments.compile_bench import (
 )
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.distance_estimation import distance_estimation_table
+from repro.experiments.multi_bench import (
+    DEFAULT_PATTERN_COUNTS,
+    enforce_multi_gate,
+    multi_pattern_rows,
+)
+from repro.experiments.multi_bench import bench_report as multi_bench_report
 from repro.experiments.distance_sweep import DEFAULT_DISTANCES, distance_sweep, find_optimal_distance
 from repro.experiments.method_comparison import DEFAULT_METHODS, RECOMMENDED_DISTANCE, compare_methods
 from repro.experiments.parallel_scaling import parallel_speedup_rows
@@ -440,10 +446,15 @@ def _run_parallel(args: argparse.Namespace) -> int:
 
 
 def _serve_pattern(args: argparse.Namespace, config: ExperimentConfig, workload):
-    """The pattern the service detects."""
+    """The pattern (or shared PatternSet, with --patterns > 1) the service detects."""
     size = int(args.size)
     if config.engine_replicas > 1 and args.partition_by:
         return workload.keyed_sequence_pattern(size, key=args.partition_by)
+    patterns = int(getattr(args, "patterns", 1) or 1)
+    if patterns > 1:
+        from repro.multi import PatternSet
+
+        return PatternSet(workload.similar_sequence_patterns(patterns, size=size))
     return workload.sequence_pattern(size)
 
 
@@ -747,6 +758,7 @@ def _run_stream_bench(args: argparse.Namespace) -> int:
         rates=rates,
         size=int(args.size),
         entities=args.entities,
+        patterns=int(getattr(args, "patterns", 1) or 1),
         checkpoint_every=args.checkpoint_every,
         checkpoint_mode=args.checkpoint_mode,
         checkpoint_full_every=args.checkpoint_full_every,
@@ -877,6 +889,61 @@ def _run_compile_bench(args: argparse.Namespace) -> int:
             f"compile gate: OK — matches are byte-identical in every mode and "
             f"{best['mode']} mode peaks at {best['speedup']:.1f}x on the "
             f"{best['pattern_class']} class"
+        )
+    return 0
+
+
+def _run_multi_bench(args: argparse.Namespace) -> int:
+    config = _config_from_args(args)
+    counts = tuple(int(part) for part in args.patterns.split(",") if part)
+    rows = multi_pattern_rows(
+        config,
+        pattern_counts=counts,
+        size=int(args.size),
+        trials=args.trials,
+        compile_mode=config.compile_mode,
+    )
+    print(
+        format_table(
+            rows,
+            [
+                "patterns",
+                "events",
+                "isolated_seconds",
+                "shared_seconds",
+                "speedup",
+                "shared_throughput",
+                "matches",
+                "matches_ok",
+                "prefix_hits",
+                "sharing_groups",
+            ],
+            title=(
+                f"{config.dataset}/{config.algorithm}: shared one-pass serving "
+                f"vs per-pattern re-read pipelines (per-pattern matches must "
+                f"agree byte-for-byte)"
+            ),
+        )
+    )
+    _maybe_write_csv(rows, args.csv)
+    problems = enforce_multi_gate(rows)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(multi_bench_report(rows, problems), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote bench report to {args.json}")
+    if problems:
+        for problem in problems:
+            print(f"multi gate: {problem}", file=sys.stderr)
+        if args.enforce:
+            return 1
+    elif args.enforce:
+        best = max(rows, key=lambda row: row["patterns"])
+        print(
+            f"multi gate: OK — per-pattern matches are byte-identical at every "
+            f"count and shared serving is {best['speedup']:.1f}x the isolated "
+            f"baseline at N={best['patterns']:.0f} "
+            f"({best['prefix_hits']:.0f} shared-prefix hits)"
         )
     return 0
 
@@ -1035,6 +1102,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--size", type=int, default=3, help="pattern size for the served pattern"
     )
     serve.add_argument(
+        "--patterns",
+        type=int,
+        default=1,
+        help="serve this many similar patterns as one shared PatternSet "
+        "through the one-pass multi-pattern engine (1 = single pattern)",
+    )
+    serve.add_argument(
         "--source",
         type=str,
         default="synthetic",
@@ -1114,6 +1188,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     stream_bench.add_argument(
         "--size", type=int, default=3, help="pattern size for the benchmark pattern"
+    )
+    stream_bench.add_argument(
+        "--patterns",
+        type=int,
+        default=1,
+        help="rate-sweep a shared PatternSet of this many similar patterns "
+        "through the one-pass multi-pattern engine (1 = single pattern)",
     )
     stream_bench.add_argument(
         "--rates",
@@ -1210,6 +1291,50 @@ def build_parser() -> argparse.ArgumentParser:
         "indexed mode is >= 2x on the join-heavy class (the CI gate)",
     )
     compile_bench.set_defaults(handler=_run_compile_bench)
+
+    multi_bench = subparsers.add_parser(
+        "multi-bench",
+        help="shared one-pass multi-pattern serving vs N isolated pipelines, "
+        "with a per-pattern byte-level match-equivalence check",
+    )
+    _add_common_options(multi_bench)
+    # The multi gate measures prefix sharing, so its defaults pick the
+    # workload where a shared prefix is well-posed: the stocks feed has
+    # structural (order-key) inter-event conditions and balanced per-type
+    # match counts, and size-4 patterns give the three-step shared prefix
+    # a distinct final step to fan out on.
+    multi_bench.set_defaults(dataset="stocks", duration=120.0)
+    multi_bench.add_argument(
+        "--patterns",
+        type=str,
+        default=",".join(str(count) for count in DEFAULT_PATTERN_COUNTS),
+        help="comma-separated pattern counts to sweep",
+    )
+    multi_bench.add_argument(
+        "--size", type=int, default=4, help="size of every generated pattern"
+    )
+    multi_bench.add_argument(
+        "--trials",
+        type=int,
+        default=1,
+        help="timed replays per side and count (the fastest trial is kept)",
+    )
+    multi_bench.add_argument(
+        "--json",
+        type=str,
+        default="BENCH_multipattern.json",
+        help="write the rows plus the gate verdict to this JSON report "
+        "('' = skip)",
+    )
+    multi_bench.add_argument(
+        "--enforce",
+        action="store_true",
+        help="exit non-zero unless per-pattern matches are byte-identical at "
+        "every count, shared serving is >= 3x the isolated baseline at the "
+        "largest count with nonzero shared-prefix hits, and shared wall "
+        "time scales sublinearly in the pattern count (the CI gate)",
+    )
+    multi_bench.set_defaults(handler=_run_multi_bench)
 
     profile = subparsers.add_parser(
         "profile",

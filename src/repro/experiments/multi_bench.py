@@ -1,0 +1,260 @@
+"""Shared multi-pattern serving vs isolated pipelines — the CI multi gate.
+
+Builds a family of ``N`` similar sequence patterns (common rare-type
+prefix, distinct final step; see
+:meth:`~repro.workloads.WorkloadGenerator.similar_sequence_patterns`) and
+replays one recorded stream two ways:
+
+* **isolated** — the deployment the multi-pattern engine replaces: ``N``
+  independent :class:`~repro.engine.AdaptiveCEPEngine` pipelines, each
+  re-reading the whole stream;
+* **shared** — one :class:`~repro.engine.MultiPatternEngine` serving the
+  whole :class:`~repro.multi.PatternSet` in a single pass, with shared
+  statistics and cost-model-scored prefix sharing.
+
+Both runs replay identical events, so the per-pattern sorted match
+records must agree byte-for-byte (``matches_ok``) — sharing must never
+change *what* any individual pattern detects, only how fast the union is
+served.
+
+:func:`enforce_multi_gate` turns the sweep into a pass/fail signal:
+shared throughput must reach :data:`MULTI_MIN_SPEEDUP` times the
+isolated baseline at the largest pattern count, the shared prefix must
+actually engage (nonzero ``prefix_hits``) whenever two or more patterns
+are served, and shared wall time must scale *sublinearly* in the pattern
+count (:data:`SUBLINEAR_FACTOR`).  CI runs this sweep and fails the
+build on any violation, so one-pass serving cannot silently regress into
+"N pipelines behind one facade".
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine import AdaptiveCEPEngine, MultiPatternEngine
+from repro.experiments.config import ExperimentConfig, PolicySpec
+from repro.experiments.runner import (
+    build_dataset,
+    build_planner,
+    build_policy,
+    build_workload,
+)
+from repro.multi import PatternSet
+from repro.streaming.sinks import match_record
+
+#: Minimum shared-over-isolated speedup at the largest pattern count.
+MULTI_MIN_SPEEDUP = 3.0
+
+#: Shared wall time must satisfy ``t(N_max)/t(N_min) <= (N_max/N_min) * SUBLINEAR_FACTOR``.
+SUBLINEAR_FACTOR = 0.5
+
+#: Default pattern counts of the sweep (1 is the no-sharing sanity point).
+DEFAULT_PATTERN_COUNTS = (1, 8, 32, 128)
+
+
+def _default_spec() -> PolicySpec:
+    return PolicySpec("invariant", distance=0.1, label="invariant")
+
+
+PerPattern = Dict[str, List[str]]
+
+
+def _sorted_per_pattern(patterns, matches) -> PerPattern:
+    """Sorted JSON match records grouped by originating pattern."""
+    per_pattern: PerPattern = {p.name: [] for p in patterns}
+    for match in matches:
+        per_pattern.setdefault(match.pattern_name, []).append(
+            json.dumps(match_record(match))
+        )
+    return {name: sorted(records) for name, records in per_pattern.items()}
+
+
+def _run_isolated(
+    config: ExperimentConfig, patterns, events, spec: PolicySpec, compile_mode: str
+) -> Tuple[float, PerPattern]:
+    """The re-read baseline: one fresh pipeline per pattern, N stream reads."""
+    batch_size = max(1, config.batch_size)
+    per_pattern: PerPattern = {}
+    seconds = 0.0
+    for pattern in patterns:
+        engine = AdaptiveCEPEngine(
+            pattern,
+            build_planner(config.algorithm),
+            build_policy(spec),
+            monitoring_interval=config.monitoring_interval,
+            compile_mode=compile_mode,
+        )
+        matches = []
+        started = time.perf_counter()
+        for start in range(0, len(events), batch_size):
+            matches.extend(engine.process_batch(events[start : start + batch_size]))
+        seconds += time.perf_counter() - started
+        per_pattern[pattern.name] = sorted(
+            json.dumps(match_record(match)) for match in matches
+        )
+    return seconds, per_pattern
+
+
+def _run_shared(
+    config: ExperimentConfig, patterns, events, spec: PolicySpec, compile_mode: str
+) -> Tuple[float, PerPattern, MultiPatternEngine]:
+    """One-pass shared serving of the whole pattern set."""
+    batch_size = max(1, config.batch_size)
+    engine = MultiPatternEngine(
+        PatternSet(patterns),
+        build_planner(config.algorithm),
+        policy_factory=lambda: build_policy(spec),
+        monitoring_interval=config.monitoring_interval,
+        compile_mode=compile_mode,
+    )
+    matches = []
+    started = time.perf_counter()
+    for start in range(0, len(events), batch_size):
+        matches.extend(engine.process_batch(events[start : start + batch_size]))
+    seconds = time.perf_counter() - started
+    return seconds, _sorted_per_pattern(patterns, matches), engine
+
+
+def multi_pattern_rows(
+    config: ExperimentConfig,
+    pattern_counts: Sequence[int] = DEFAULT_PATTERN_COUNTS,
+    size: int = 4,
+    trials: int = 1,
+    compile_mode: str = "interpreted",
+    policy_spec: Optional[PolicySpec] = None,
+) -> List[Dict[str, object]]:
+    """One row per pattern count: shared vs isolated time, speedup, verdict.
+
+    With ``trials > 1`` each side keeps its fastest trial (the variance of
+    a loaded CI box should not fail the gate); the correctness comparison
+    uses every trial's records — all must agree.
+    """
+    if trials < 1:
+        raise ValueError("multi bench needs at least one trial per count")
+    spec = policy_spec or _default_spec()
+    counts = sorted(set(int(n) for n in pattern_counts))
+    if any(n < 1 for n in counts):
+        raise ValueError("pattern counts must be positive")
+    dataset = build_dataset(config)
+    workload = build_workload(config, dataset)
+    events = dataset.generate(
+        duration=config.duration,
+        seed=config.stream_seed,
+        max_events=config.max_events,
+    ).to_list()
+
+    # One unmeasured warmup (imports, allocator, kernel caches).
+    warm = workload.similar_sequence_patterns(1, size=size)
+    _run_shared(config, warm, events, spec, compile_mode)
+
+    rows: List[Dict[str, object]] = []
+    for count in counts:
+        patterns = workload.similar_sequence_patterns(count, size=size)
+        isolated_seconds = float("inf")
+        shared_seconds = float("inf")
+        matches_ok = True
+        shared_engine = None
+        isolated_records: PerPattern = {}
+        shared_records: PerPattern = {}
+        for _ in range(int(trials)):
+            seconds, isolated_records = _run_isolated(
+                config, patterns, events, spec, compile_mode
+            )
+            isolated_seconds = min(isolated_seconds, seconds)
+            seconds, shared_records, shared_engine = _run_shared(
+                config, patterns, events, spec, compile_mode
+            )
+            shared_seconds = min(shared_seconds, seconds)
+            matches_ok = matches_ok and shared_records == isolated_records
+        report = shared_engine.share_manager.sharing_report()
+        rows.append(
+            {
+                "dataset": config.dataset,
+                "algorithm": config.algorithm,
+                "compile_mode": compile_mode,
+                "patterns": count,
+                "size": size,
+                "events": float(len(events)),
+                "isolated_seconds": isolated_seconds,
+                "shared_seconds": shared_seconds,
+                "speedup": (
+                    isolated_seconds / shared_seconds if shared_seconds > 0 else 0.0
+                ),
+                "shared_throughput": (
+                    len(events) / shared_seconds if shared_seconds > 0 else 0.0
+                ),
+                "matches": float(sum(len(r) for r in shared_records.values())),
+                "matches_expected": float(
+                    sum(len(r) for r in isolated_records.values())
+                ),
+                "matches_ok": float(matches_ok),
+                "prefix_hits": float(shared_engine.prefix_hits_total()),
+                "sharing_groups": float(len(report)),
+                "sharing_score": float(sum(row["score"] for row in report)),
+            }
+        )
+    return rows
+
+
+def enforce_multi_gate(rows: List[Dict[str, object]]) -> List[str]:
+    """Gate violations (empty = the build may pass).
+
+    * every pattern count must serve per-pattern match sets byte-identical
+      to the isolated pipelines;
+    * at the largest count, shared serving must be at least
+      :data:`MULTI_MIN_SPEEDUP` times faster than the re-read baseline;
+    * whenever two or more patterns are served, the shared prefix must
+      actually have delivered partial matches (nonzero ``prefix_hits``);
+    * shared wall time must grow sublinearly across the sweep
+      (:data:`SUBLINEAR_FACTOR`).
+    """
+    problems: List[str] = []
+    if not rows:
+        return ["the gate needs at least one pattern-count row"]
+    by_count = {int(row["patterns"]): row for row in rows}
+    counts = sorted(by_count)
+    for count in counts:
+        row = by_count[count]
+        if row["matches_ok"] != 1.0:
+            problems.append(
+                f"N={count}: shared serving detected {row['matches']:.0f} "
+                f"matches, expected {row['matches_expected']:.0f} — sharing "
+                "changed a per-pattern match set"
+            )
+        if count >= 2 and row["prefix_hits"] <= 0:
+            problems.append(
+                f"N={count}: no shared-prefix hits — prefix sharing never engaged"
+            )
+    largest = by_count[counts[-1]]
+    if counts[-1] >= 2 and largest["speedup"] < MULTI_MIN_SPEEDUP:
+        problems.append(
+            f"N={counts[-1]}: shared speedup {largest['speedup']:.2f}x over the "
+            f"isolated baseline is below the {MULTI_MIN_SPEEDUP:g}x floor"
+        )
+    if len(counts) >= 2 and counts[-1] > counts[0]:
+        smallest = by_count[counts[0]]
+        if smallest["shared_seconds"] > 0:
+            growth = largest["shared_seconds"] / smallest["shared_seconds"]
+            allowed = (counts[-1] / counts[0]) * SUBLINEAR_FACTOR
+            if growth > allowed:
+                problems.append(
+                    f"shared wall time grew {growth:.1f}x from N={counts[0]} to "
+                    f"N={counts[-1]} — above the sublinear bound {allowed:.1f}x"
+                )
+    return problems
+
+
+def bench_report(rows: List[Dict[str, object]], problems: List[str]) -> Dict:
+    """The JSON document the CLI writes as ``BENCH_multipattern.json``."""
+    return {
+        "bench": "multipattern",
+        "gate": {
+            "multi_min_speedup": MULTI_MIN_SPEEDUP,
+            "sublinear_factor": SUBLINEAR_FACTOR,
+            "passed": not problems,
+            "problems": list(problems),
+        },
+        "rows": rows,
+    }

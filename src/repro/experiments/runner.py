@@ -135,9 +135,11 @@ def run_single(
                 monitoring_interval=monitoring_interval,
             )
         )
-    elif isinstance(pattern, CompositePattern):
+    elif not isinstance(pattern, Pattern) and hasattr(pattern, "subpatterns"):
+        from repro.multi.registry import as_pattern_set
+
         engine = MultiPatternEngine(
-            pattern,
+            as_pattern_set(pattern),
             planner,
             policy_factory=lambda: build_policy(policy_spec),
             initial_snapshot=None,

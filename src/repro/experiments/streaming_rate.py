@@ -22,6 +22,7 @@ from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine import AdaptiveCEPEngine
+from repro.patterns import Pattern
 from repro.experiments.config import ExperimentConfig, PolicySpec
 from repro.experiments.runner import (
     build_dataset,
@@ -81,6 +82,18 @@ def build_streaming_engine(
             introspect=config.introspect,
             compile_mode=config.compile_mode,
         )
+    if not isinstance(pattern, Pattern) and hasattr(pattern, "subpatterns"):
+        from repro.engine import MultiPatternEngine
+        from repro.multi.registry import as_pattern_set
+
+        return MultiPatternEngine(
+            as_pattern_set(pattern),
+            planner,
+            policy_factory=lambda: build_policy(spec),
+            monitoring_interval=config.monitoring_interval,
+            introspect=config.introspect,
+            compile_mode=config.compile_mode,
+        )
     return AdaptiveCEPEngine(
         pattern,
         planner,
@@ -96,6 +109,7 @@ def rate_sweep_rows(
     rates: Sequence[float] = DEFAULT_RATES,
     size: int = 3,
     entities: int = 8,
+    patterns: int = 1,
     policy_spec: Optional[PolicySpec] = None,
     shuffle_slack: float = 0.0,
     max_lateness: Optional[float] = None,
@@ -122,6 +136,10 @@ def rate_sweep_rows(
     delta per ``checkpoint_mode``) into a per-rate temporary store and adds
     checkpoint-size/pause columns, so the checkpointing overhead at a
     given cadence can be read off the same sweep.
+
+    ``patterns`` > 1 serves a :class:`~repro.multi.PatternSet` of that many
+    similar sequence patterns through the shared one-pass multi-pattern
+    engine instead of a single sequence pattern.
     """
     spec = policy_spec or PolicySpec("invariant", distance=0.1, label="invariant")
     dataset = build_dataset(config)
@@ -136,7 +154,14 @@ def rate_sweep_rows(
             max_events=config.max_events,
         )
     else:
-        pattern = workload.sequence_pattern(size)
+        if patterns > 1:
+            from repro.multi import PatternSet
+
+            pattern = PatternSet(
+                workload.similar_sequence_patterns(patterns, size=size)
+            )
+        else:
+            pattern = workload.sequence_pattern(size)
         stream = dataset.generate(
             duration=config.duration,
             seed=config.stream_seed,

@@ -1,0 +1,116 @@
+"""Shared statistics for multi-pattern serving.
+
+In an N-isolated-pipelines deployment every pattern's
+:class:`~repro.statistics.StatisticsCollector` counts every arrival
+itself, so one stream is measured N times.  The
+:class:`SharedStatisticsHub` owns exactly one sliding-window rate
+estimator per event type; the multi-pattern engine feeds each event into
+the hub once, and every pattern's :class:`SharedStatisticsCollector`
+reads the shared estimators.  The per-pattern collectors keep their own
+selectivity estimators (conditions are pattern-local), except for pairs
+evaluated on their behalf by a shared prefix group, which are re-pointed
+at the group's estimators via
+:meth:`~repro.statistics.StatisticsCollector.share_selectivity`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import StatisticsError
+from repro.events import Event, EventType
+from repro.patterns import Pattern
+from repro.statistics import StatisticsCollector
+from repro.statistics.sliding_window import SlidingWindowRateEstimator
+
+
+class SharedStatisticsHub:
+    """One rate estimator per event type, shared across patterns.
+
+    Parameters mirror :class:`~repro.statistics.StatisticsCollector`; the
+    hub's window must cover the longest statistics window any pattern
+    would have used on its own.
+    """
+
+    def __init__(self, window: float, num_buckets: int = 32):
+        if window <= 0:
+            raise StatisticsError("statistics hub window must be positive")
+        self.window = float(window)
+        self.num_buckets = num_buckets
+        self._rates: Dict[str, SlidingWindowRateEstimator] = {}
+        self._last_time: float = float("-inf")
+
+    @property
+    def last_time(self) -> float:
+        """Timestamp of the newest event observed (``-inf`` before any)."""
+        return self._last_time
+
+    @property
+    def tracked_types(self):
+        return tuple(self._rates)
+
+    def rate_estimator(self, type_name: str) -> SlidingWindowRateEstimator:
+        """The shared estimator for an event type (created on first use)."""
+        estimator = self._rates.get(type_name)
+        if estimator is None:
+            estimator = self._rates[type_name] = SlidingWindowRateEstimator(
+                self.window, self.num_buckets
+            )
+        return estimator
+
+    def register(self, pattern: Pattern) -> None:
+        """Ensure shared estimators exist for every type a pattern uses."""
+        for event_type in pattern.event_types:
+            self.rate_estimator(event_type.name)
+
+    def observe(self, event: Event) -> None:
+        """Count one arrival — called exactly once per event by the
+        multi-pattern engine, regardless of how many patterns consume it."""
+        estimator = self._rates.get(event.type_name)
+        if estimator is not None:
+            estimator.observe(event.timestamp)
+        if event.timestamp > self._last_time:
+            self._last_time = event.timestamp
+
+
+class SharedStatisticsCollector(StatisticsCollector):
+    """A per-pattern collector whose arrival rates come from the hub.
+
+    ``register_event_type`` installs the hub's shared estimator instead of
+    a private one, and ``observe_event`` only advances the local clock —
+    the hub has already counted the arrival.  Selectivity estimation is
+    unchanged (pattern-local), so the resulting snapshots are exactly what
+    an isolated collector would produce, at 1/N the counting work.
+    """
+
+    def __init__(self, hub: SharedStatisticsHub, prior_selectivity: float = 0.5):
+        super().__init__(
+            window=hub.window,
+            num_buckets=hub.num_buckets,
+            prior_selectivity=prior_selectivity,
+        )
+        self._hub = hub
+
+    @property
+    def hub(self) -> SharedStatisticsHub:
+        return self._hub
+
+    def attach_hub(self, hub: SharedStatisticsHub) -> None:
+        """Re-point every rate estimate at (a restored) hub's estimators.
+
+        Per-pattern checkpoint frames pickle independent copies of the
+        shared estimators; restore re-establishes the sharing by calling
+        this with the canonical hub.  Idempotent.
+        """
+        self._hub = hub
+        for name in list(self._rate_estimators):
+            self._rate_estimators[name] = hub.rate_estimator(name)
+
+    def register_event_type(self, event_type: EventType) -> None:
+        self._rate_estimators[event_type.name] = self._hub.rate_estimator(
+            event_type.name
+        )
+
+    def observe_event(self, event: Event) -> None:
+        # The hub counted this arrival once for all patterns.
+        self._advance(event.timestamp)

@@ -57,10 +57,11 @@ from repro.parallel.partitioner import (
     RoundRobinPartitioner,
 )
 from repro.parallel.shard import Shard, ShardedEngine, ShardOutput, build_replica
+from repro.multi.registry import PatternSet
 from repro.patterns import CompositePattern, Pattern
 from repro.statistics import StatisticsProvider, StatisticsSnapshot
 
-PatternLike = Union[Pattern, CompositePattern]
+PatternLike = Union[Pattern, CompositePattern, PatternSet]
 
 
 class ParallelCEPEngine:
@@ -145,6 +146,33 @@ class ParallelCEPEngine:
     def sharded_engine(self) -> ShardedEngine:
         return self._sharded
 
+    def partial_match_count(self) -> int:
+        """Live partial matches summed across every shard replica."""
+        return sum(
+            shard.engine.partial_match_count() for shard in self._sharded.shards
+        )
+
+    @property
+    def plan_history(self) -> "list[str]":
+        """Installed-plan descriptions across all shard replicas, in shard
+        order (replicas adapt independently)."""
+        history: "list[str]" = []
+        for shard in self._sharded.shards:
+            history.extend(shard.engine.plan_history)
+        return history
+
+    def introspection(self) -> dict:
+        """Per-shard introspection frames under one facade-level dict."""
+        return {
+            "pattern": self.pattern.name,
+            "shards": {
+                shard.shard_id: shard.engine.introspection()
+                for shard in self._sharded.shards
+            },
+            "partitioner": type(self._partitioner).__name__,
+            "partial_matches": {"live": self.partial_match_count()},
+        }
+
     # ------------------------------------------------------------------
     # Event-at-a-time API (streaming ingestion)
     # ------------------------------------------------------------------
@@ -178,6 +206,16 @@ class ParallelCEPEngine:
         if not matches:
             return []
         return self._streaming_dedup.filter(matches, now=event.timestamp)
+
+    def process_batch(self, events: "list[Event]") -> "list[Match]":
+        """Streaming counterpart of a batch dispatch: events are routed in
+        stream order through :meth:`process`, so the concatenated output
+        matches event-at-a-time processing exactly (the unified
+        :class:`~repro.engine.CEPEngine` surface)."""
+        matches: "list[Match]" = []
+        for event in events:
+            matches.extend(self.process(event))
+        return matches
 
     # ------------------------------------------------------------------
     # State snapshot / restore (checkpointing support)

@@ -248,9 +248,13 @@ def build_replica(
     """One fresh engine with private planner/policy copies."""
     replica_planner = copy.deepcopy(planner)
     replica_policy = copy.deepcopy(policy)
-    if isinstance(pattern, CompositePattern):
+    if not isinstance(pattern, Pattern) and hasattr(pattern, "subpatterns"):
+        # CompositePattern or PatternSet: normalise through the registry so
+        # the replica gets stable per-pattern ids (and no deprecation shim).
+        from repro.multi.registry import as_pattern_set
+
         return MultiPatternEngine(
-            pattern,
+            as_pattern_set(pattern),
             replica_planner,
             policy_factory=lambda: copy.deepcopy(replica_policy),
             statistics_provider=statistics_provider,

@@ -111,6 +111,10 @@ class Pattern:
 
         self._operator = operator
         self._items = items
+        self._positive_items = tuple(positive)
+        self._positive_index = {
+            item.variable: index for index, item in enumerate(positive)
+        }
         self._window = float(window)
         self._name = name or self._default_name()
         if isinstance(condition, ConditionSet):
@@ -156,7 +160,7 @@ class Pattern:
     @property
     def positive_items(self) -> Tuple[PatternItem, ...]:
         """Items that must occur (not under negation)."""
-        return tuple(item for item in self._items if not item.negated)
+        return self._positive_items
 
     @property
     def negated_items(self) -> Tuple[PatternItem, ...]:
@@ -196,12 +200,13 @@ class Pattern:
 
     def positive_index(self, variable: str) -> int:
         """Index of a variable among the positive items (sequence order)."""
-        for index, item in enumerate(self.positive_items):
-            if item.variable == variable:
-                return index
-        raise PatternError(
-            f"variable {variable!r} is not a positive item of pattern {self._name!r}"
-        )
+        try:
+            return self._positive_index[variable]
+        except KeyError:
+            raise PatternError(
+                f"variable {variable!r} is not a positive item of pattern "
+                f"{self._name!r}"
+            ) from None
 
     def type_names(self) -> Tuple[str, ...]:
         return tuple(item.event_type.name for item in self._items)

@@ -18,7 +18,9 @@ from repro.plans.order_plan import OrderBasedPlan
 from repro.plans.tree_plan import TreeBasedPlan, TreePlanNode, TreeLeaf, TreeInternalNode
 from repro.plans.cost import (
     order_plan_cost,
+    order_prefix_cost,
     order_step_cost,
+    sharing_score,
     tree_plan_cost,
     tree_node_cardinality,
     pair_selectivity_product,
@@ -32,7 +34,9 @@ __all__ = [
     "TreeLeaf",
     "TreeInternalNode",
     "order_plan_cost",
+    "order_prefix_cost",
     "order_step_cost",
+    "sharing_score",
     "tree_plan_cost",
     "tree_node_cardinality",
     "pair_selectivity_product",

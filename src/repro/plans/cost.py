@@ -81,6 +81,39 @@ def order_plan_cost(
     return total
 
 
+def order_prefix_cost(
+    snapshot: StatisticsSnapshot,
+    pattern: Pattern,
+    prefix: Sequence[str],
+) -> float:
+    """Cost of evaluating only the leading ``prefix`` of an order-based plan.
+
+    Identical to :func:`order_plan_cost` restricted to the prefix — the
+    expected number of partial matches the prefix keeps alive per unit
+    time.  This is the quantity a shared-prefix group saves for every
+    consumer beyond the first.
+    """
+    return order_plan_cost(snapshot, pattern, prefix)
+
+
+def sharing_score(
+    snapshot: StatisticsSnapshot,
+    pattern: Pattern,
+    prefix: Sequence[str],
+    member_count: int,
+) -> float:
+    """Expected saving from materializing ``prefix`` once for ``member_count`` plans.
+
+    Each consumer beyond the first avoids re-deriving the prefix's partial
+    matches, so the saving is ``(member_count - 1) * order_prefix_cost``.
+    A score of zero (single member, or a prefix the statistics rate as
+    free) means sharing buys nothing.
+    """
+    if member_count <= 1:
+        return 0.0
+    return (member_count - 1) * order_prefix_cost(snapshot, pattern, prefix)
+
+
 def tree_node_cardinality(
     snapshot: StatisticsSnapshot,
     pattern: Pattern,

@@ -98,6 +98,36 @@ class StatisticsCollector:
             if pattern.conditions.single_variable_conditions(item.variable):
                 self.register_pair(item.variable, item.variable)
 
+    def rate_estimator(self, name: str) -> Optional[SlidingWindowRateEstimator]:
+        """The live rate estimator for an event type, if registered."""
+        return self._rate_estimators.get(name)
+
+    def share_rate(self, name: str, estimator: SlidingWindowRateEstimator) -> None:
+        """Point this collector's rate estimate for ``name`` at a shared estimator.
+
+        Multi-pattern serving feeds every event exactly once into one
+        estimator per event type; each pattern's collector then reads the
+        shared instance instead of double-counting arrivals.
+        """
+        self._rate_estimators[name] = estimator
+
+    def selectivity_estimator(
+        self, a: str, b: str
+    ) -> Optional[SlidingSelectivityEstimator]:
+        """The live selectivity estimator for a variable pair, if registered."""
+        return self._selectivity_estimators.get(pair_key(a, b))
+
+    def share_selectivity(
+        self, a: str, b: str, estimator: SlidingSelectivityEstimator
+    ) -> None:
+        """Point this collector's selectivity for ``a``/``b`` at a shared estimator.
+
+        Used when a shared prefix evaluates a condition pair once on behalf
+        of several patterns: every consumer sees the evidence the prefix
+        engine accumulated.
+        """
+        self._selectivity_estimators[pair_key(a, b)] = estimator
+
     @property
     def tracked_types(self) -> Tuple[str, ...]:
         return tuple(self._rate_estimators)

@@ -118,6 +118,7 @@ def match_record(match: Match) -> Dict[str, Any]:
             bindings[variable] = event_entry(value)
     return {
         "pattern": match.pattern_name,
+        "pattern_id": getattr(match, "pattern_id", None) or match.pattern_name,
         "detection_time": match.detection_time,
         "bindings": bindings,
     }
@@ -233,9 +234,10 @@ class MetricsSink(MatchSink):
 
     def emit(self, match: Match) -> None:
         self.total += 1
-        self.per_pattern[match.pattern_name] = (
-            self.per_pattern.get(match.pattern_name, 0) + 1
-        )
+        # Key by the registry id when present (multi-pattern provenance);
+        # old pickles may predate the attribute.
+        key = getattr(match, "pattern_id", None) or match.pattern_name
+        self.per_pattern[key] = self.per_pattern.get(key, 0) + 1
         self.last_detection_time = match.detection_time
 
     def state(self) -> Dict[str, Any]:

@@ -251,6 +251,67 @@ class WorkloadGenerator:
             subpatterns, name=f"{self.dataset.name}-composite-{size}-{variant}"
         )
 
+    def similar_sequence_patterns(
+        self, count: int, size: int = 3, variant: int = 0
+    ) -> List[Pattern]:
+        """A family of ``count`` sequences sharing a common declared prefix.
+
+        The multi-pattern serving workload: every pattern opens with the
+        same ``size - 1`` items over the dataset's *rarest* event types
+        (rare openers keep the lazy-NFA plan order aligned with the
+        declared prefix, so the prefix stays shareable after re-planning)
+        and closes with a final item cycling over the remaining,
+        higher-rate types.  The chain conditions over the prefix are the
+        *same condition objects* in every pattern — exactly what a real
+        deployment registering one predicate library would do — so their
+        :meth:`~repro.conditions.Condition.cache_key` sets are provably
+        identical even for opaque predicate conditions and the prefix is
+        shareable across the whole family.
+        """
+        if size < 2:
+            raise DatasetError("similar patterns need size >= 2 (prefix + final)")
+        names = self.dataset.type_names()
+        if size > len(names):
+            raise DatasetError(
+                f"pattern size {size} exceeds the dataset's {len(names)} event types"
+            )
+        ranked = sorted(names, key=lambda n: self.dataset.true_rate(n, 0.0))
+        # Prefix from the rare end of the rate ranking, skipping the very
+        # rarest type: the extreme of the skew is often a physical outlier
+        # (on the traffic feed, the near-empty road whose readings can never
+        # co-move with a congested point), which would starve the shared
+        # prefix of completions.
+        skip = 1 if len(ranked) > size else 0
+        prefix_types = [
+            self.dataset.event_type(n) for n in ranked[skip : skip + size - 1]
+        ]
+        final_names = ranked[skip + size - 1 :] + ranked[:skip]
+        variables = list(_VARIABLE_NAMES[:size])
+        window = self._window_for(size)
+        shared_chain = [
+            self.dataset.condition_between(first, second)
+            for first, second in zip(variables, variables[1:])
+        ]
+        patterns: List[Pattern] = []
+        for index in range(count):
+            final_name = final_names[index % len(final_names)]
+            items = [
+                PatternItem(v, t) for v, t in zip(variables, prefix_types)
+            ] + [PatternItem(variables[-1], self.dataset.event_type(final_name))]
+            conditions = ConditionSet()
+            for condition in shared_chain:
+                conditions.add(condition)
+            patterns.append(
+                Pattern(
+                    PatternOperator.SEQUENCE,
+                    items,
+                    condition=conditions,
+                    window=window,
+                    name=f"{self.dataset.name}-sim-{size}-{variant}-{index}",
+                )
+            )
+        return patterns
+
     # ------------------------------------------------------------------
     # Pattern sets
     # ------------------------------------------------------------------
